@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks of the host compute kernels that stand in
+// for cuSPARSE/cuBLAS: CSR SpMM, the three GeMM variants, the fused masked
+// input-gradient GeMM, and the elementwise/optimizer kernels. These measure
+// the *real* host implementations (the ones the correctness tests train
+// with), not the simulated-time model.
+#include <benchmark/benchmark.h>
+
+#include "core/gcn_kernels.hpp"
+#include "dense/kernels.hpp"
+#include "graph/generators.hpp"
+#include "sparse/sddmm.hpp"
+#include "sparse/spmm.hpp"
+#include "util/rng.hpp"
+
+using namespace mggcn;
+
+namespace {
+
+sparse::Csr random_graph(std::int64_t n, double degree) {
+  util::Rng rng(7);
+  graph::BterParams params;
+  params.n = n;
+  params.avg_degree = degree;
+  return sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
+}
+
+dense::HostMatrix random_matrix(std::int64_t rows, std::int64_t cols) {
+  util::Rng rng(11);
+  dense::HostMatrix m(rows, cols);
+  m.init_gaussian(rng);
+  return m;
+}
+
+void BM_Spmm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto d = state.range(1);
+  const sparse::Csr a = random_graph(n, 16.0);
+  const dense::HostMatrix b = random_matrix(n, d);
+  dense::HostMatrix c(n, d);
+  for (auto _ : state) {
+    sparse::spmm(a, b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * d);
+}
+BENCHMARK(BM_Spmm)->Args({4096, 64})->Args({4096, 256})->Args({16384, 64});
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  const dense::HostMatrix a = random_matrix(n, k);
+  const dense::HostMatrix b = random_matrix(k, k);
+  dense::HostMatrix c(n, k);
+  for (auto _ : state) {
+    dense::gemm(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * k);
+}
+BENCHMARK(BM_Gemm)->Args({2048, 64})->Args({2048, 256});
+
+void BM_GemmAtB(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  const dense::HostMatrix a = random_matrix(n, k);
+  const dense::HostMatrix b = random_matrix(n, k);
+  dense::HostMatrix c(k, k);
+  for (auto _ : state) {
+    dense::gemm_at_b(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmAtB)->Args({2048, 64})->Args({2048, 256});
+
+void BM_GemmABtMasked(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  const dense::HostMatrix a = random_matrix(n, k);
+  const dense::HostMatrix w = random_matrix(k, k);
+  dense::HostMatrix c = random_matrix(n, k);
+  for (auto _ : state) {
+    dense::gemm_a_bt_relu_masked(a.view(), w.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmABtMasked)->Args({2048, 64})->Args({2048, 256});
+
+void BM_Sddmm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto d = state.range(1);
+  const sparse::Csr pattern = random_graph(n, 16.0);
+  const dense::HostMatrix u = random_matrix(n, d);
+  const dense::HostMatrix v = random_matrix(n, d);
+  for (auto _ : state) {
+    sparse::Csr out = sparse::sddmm(pattern, u.view(), v.view());
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * pattern.nnz() * d);
+}
+BENCHMARK(BM_Sddmm)->Args({4096, 32})->Args({4096, 128});
+
+void BM_EdgeSoftmax(benchmark::State& state) {
+  const auto n = state.range(0);
+  sparse::Csr m = random_graph(n, 16.0);
+  for (auto _ : state) {
+    sparse::edge_softmax(m);
+    benchmark::DoNotOptimize(m.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_EdgeSoftmax)->Arg(4096)->Arg(16384);
+
+void BM_ReluForward(benchmark::State& state) {
+  const auto n = state.range(0);
+  dense::HostMatrix x = random_matrix(n, 64);
+  for (auto _ : state) {
+    dense::relu_forward(x.data(), x.data(), x.size());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(state.iterations() * x.size() * 8);
+}
+BENCHMARK(BM_ReluForward)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SoftmaxXent(benchmark::State& state) {
+  const auto n = state.range(0);
+  const std::int64_t classes = 40;
+  util::Rng rng(3);
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(n));
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform_index(40));
+  const dense::HostMatrix base = random_matrix(n, classes);
+  dense::HostMatrix logits(n, classes);
+  for (auto _ : state) {
+    state.PauseTiming();
+    logits = base;
+    state.ResumeTiming();
+    auto r = core::softmax_cross_entropy_inplace(logits.view(), labels.data(),
+                                                 nullptr, n);
+    benchmark::DoNotOptimize(r.loss_sum);
+  }
+}
+BENCHMARK(BM_SoftmaxXent)->Arg(4096)->Arg(16384);
+
+void BM_Adam(benchmark::State& state) {
+  const auto n = state.range(0);
+  dense::HostMatrix w = random_matrix(n, 1);
+  dense::HostMatrix g = random_matrix(n, 1);
+  dense::HostMatrix m(n, 1), v(n, 1);
+  int step = 0;
+  for (auto _ : state) {
+    core::adam_update(w.data(), g.data(), m.data(), v.data(), n, ++step,
+                      1e-2, 0.9, 0.999, 1e-8);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Adam)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Beyond one machine: MG-GCN's 1D algorithm on a multi-node DGX-A100
+// cluster (the paper's future work, §7), reproducing the phenomenon that
+// frames the whole paper — "communication becomes a bottleneck, and
+// scaling is blocked outside of the single machine regime" (abstract),
+// previously observed by CAGNET, which "fails to scale beyond a single
+// node (4 GPUs)".
+//
+// The cluster model keeps NVSwitch bandwidth inside each 8-GPU node but
+// funnels cross-node collectives through one HDR NIC per node; the staged
+// broadcast's bandwidth collapses as soon as the group spans two nodes.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace mggcn;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Future work (§7): MG-GCN scaling across DGX-A100 nodes");
+  cli.option("dataset", "Products", "dataset");
+  cli.option("gpus", "1,2,4,8,16,32", "GPU counts (8 per node)");
+  cli.option("scale", "0", "replica scale override");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const graph::DatasetSpec spec = graph::dataset_by_name(cli.get("dataset"));
+  const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
+                                                   : bench::default_scale(spec);
+  const graph::Dataset ds = bench::load_replica(spec, scale);
+
+  bench::print_header("§7 / abstract",
+                      "epoch runtime across cluster nodes (8 GPUs/node, "
+                      "HDR inter-node fabric), 2-layer GCN hidden=512",
+                      spec, ds.scale);
+
+  util::Table table(
+      {"GPUs", "nodes", "epoch(s)", "speedup vs 1 GPU", "efficiency"});
+  double base = 0.0;
+  for (const auto gpus : cli.get_int_list("gpus")) {
+    const int g = static_cast<int>(gpus);
+    const int nodes = (g + 7) / 8;
+    const bench::EpochResult r =
+        bench::run_epoch(bench::System::kMgGcn, sim::dgx_a100_cluster(nodes),
+                         g, ds, core::model_hidden512());
+    if (r.oom) {
+      table.add_row({std::to_string(gpus), std::to_string(nodes), "OOM", "-",
+                     "-"});
+      continue;
+    }
+    if (g == 1) base = r.seconds;
+    const double speedup = base > 0 ? base / r.seconds : 0.0;
+    table.add_row({std::to_string(gpus), std::to_string(nodes),
+                   bench::cell_seconds(r), util::format_speedup(speedup),
+                   util::format_double(100.0 * speedup / g, 1) + "%"});
+  }
+
+  std::cout << table.to_string()
+            << "\n(speedup should climb to 8 GPUs and stall/regress across "
+               "nodes — the single-machine regime the paper targets.)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3: MG-GCN epoch times on DGX-A100 with the DistGNN-comparison
+// models (§6.6): Reddit with the 2-layer hidden-16 model, Products and
+// Proteins with the 3-layer hidden-256 model, Papers with the 3-layer
+// hidden-208 model (the largest that fits).
+//
+// Paper landmarks (epoch seconds): Reddit 0.033 -> 0.012 (flat after 4
+// GPUs: the model is tiny), Products 0.355 -> 0.067, Proteins 4.221 ->
+// 0.641, Papers OOM below 8 GPUs and 2.89 s at 8.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace mggcn;
+
+namespace {
+
+core::TrainConfig model_for(const std::string& dataset) {
+  if (dataset == "Reddit") return core::model_hidden16();
+  if (dataset == "Papers") return core::model_hidden208x2();
+  return core::model_hidden256x2();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Table 3 reproduction: MG-GCN on DGX-A100");
+  cli.option("datasets", "Reddit,Papers,Products,Proteins", "datasets");
+  cli.option("gpus", "1,2,4,8", "GPU counts");
+  cli.option("scale", "0", "replica scale override (0 = default)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  bench::print_header("Table 3",
+                      "MG-GCN epoch seconds on DGX-A100 "
+                      "(models per §6: Reddit 2x16, Products/Proteins 3x256, "
+                      "Papers 3x208)");
+
+  const auto gpu_list = cli.get_int_list("gpus");
+  std::vector<std::string> header = {"#GPUs"};
+  for (const auto& name : cli.get_list("datasets")) header.push_back(name);
+  util::Table table(std::move(header));
+
+  std::vector<std::vector<std::string>> columns;
+  for (const auto& name : cli.get_list("datasets")) {
+    const graph::DatasetSpec spec = graph::dataset_by_name(name);
+    const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
+                                                     : bench::default_scale(spec);
+    const graph::Dataset ds = bench::load_replica(spec, scale);
+    const sim::MachineProfile profile = sim::dgx_a100();
+
+    std::vector<std::string> column;
+    for (const auto gpus : gpu_list) {
+      const bench::EpochResult r =
+          bench::run_epoch(bench::System::kMgGcn, profile,
+                           static_cast<int>(gpus), ds, model_for(spec.name));
+      column.push_back(r.oom ? "-" : bench::cell_seconds(r));
+    }
+    columns.push_back(std::move(column));
+  }
+
+  for (std::size_t g = 0; g < gpu_list.size(); ++g) {
+    std::vector<std::string> row = {std::to_string(gpu_list[g])};
+    for (const auto& column : columns) row.push_back(column[g]);
+    table.add_row(std::move(row));
+  }
+
+  std::cout << table.to_string()
+            << "\n('-' marks configurations that ran out of memory, as in "
+               "the paper's Table 3.)\n";
+  return 0;
+}

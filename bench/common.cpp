@@ -1,0 +1,203 @@
+#include "bench/common.hpp"
+
+#include <filesystem>
+#include <iostream>
+
+#include <array>
+
+#include "baselines/cagnet.hpp"
+#include "baselines/dgl_like.hpp"
+#include "comm/communicator.hpp"
+#include "core/dist_spmm.hpp"
+#include "core/partition.hpp"
+#include "core/trainer.hpp"
+#include "sparse/io.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::bench {
+
+double default_scale(const graph::DatasetSpec& spec) {
+  if (spec.name == "Cora") return 1.0;
+  if (spec.name == "Arxiv") return 4.0;
+  if (spec.name == "Products") return 48.0;
+  if (spec.name == "Proteins") return 256.0;
+  if (spec.name == "Reddit") return 24.0;
+  if (spec.name == "Papers") return 2048.0;
+  return std::max(1.0, static_cast<double>(spec.n) / 50'000.0);
+}
+
+graph::Dataset load_replica(const graph::DatasetSpec& spec, double scale,
+                            std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  const fs::path cache_dir = fs::temp_directory_path() / "mggcn_bench_cache";
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+
+  const fs::path path =
+      cache_dir / (spec.name + "_s" + std::to_string(static_cast<int>(scale)) +
+                   "_r" + std::to_string(seed) + ".csr");
+
+  graph::Dataset ds;
+  ds.spec = spec;
+  if (!ec && fs::exists(path)) {
+    ds.adjacency = sparse::read_csr(path.string());
+    ds.scale = static_cast<double>(spec.n) /
+               static_cast<double>(ds.adjacency.rows());
+    return ds;
+  }
+
+  graph::DatasetOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  options.with_features = false;
+  ds = graph::make_dataset(spec, options);
+  if (!ec) sparse::write_csr(ds.adjacency, path.string());
+  return ds;
+}
+
+const char* system_name(System system) {
+  switch (system) {
+    case System::kMgGcn: return "MG-GCN";
+    case System::kDgl: return "DGL";
+    case System::kCagnet: return "CAGNET";
+  }
+  return "?";
+}
+
+EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
+                      int gpus, const graph::Dataset& dataset,
+                      const core::TrainConfig& config) {
+  EpochResult result;
+  try {
+    core::TrainConfig effective = config;
+    switch (system) {
+      case System::kMgGcn: break;
+      case System::kDgl: effective = baselines::dgl_like_config(effective); break;
+      case System::kCagnet: effective = baselines::cagnet_config(effective); break;
+    }
+
+    const std::uint64_t invariant =
+        core::replicated_state_bytes(core::layer_dims(dataset, effective));
+    sim::Machine machine(
+        sim::scale_profile(machine_prof, dataset.scale, invariant), gpus,
+        sim::ExecutionMode::kPhantom);
+    core::MgGcnTrainer trainer(machine, dataset, effective);
+
+    // Two epochs; the second is steady state (Adam state touched, clocks
+    // aligned). Phantom mode is deterministic, so no further repeats.
+    trainer.train_epoch();
+    const core::EpochStats stats = trainer.train_epoch();
+
+    const double x = dataset.extrapolation();
+    result.seconds = stats.sim_seconds * x;
+    for (const auto& [kind, busy] : stats.busy_by_kind) {
+      result.busy[kind] = busy * x;
+    }
+    const std::uint64_t invariant_part =
+        std::min<std::uint64_t>(stats.peak_memory_bytes, invariant);
+    result.peak_memory =
+        invariant_part +
+        static_cast<std::uint64_t>(
+            static_cast<double>(stats.peak_memory_bytes - invariant_part) * x);
+    result.imbalance = trainer.tile_imbalance();
+  } catch (const OutOfMemoryError&) {
+    result.oom = true;
+  }
+  return result;
+}
+
+SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
+                               const sim::MachineProfile& profile, int gpus,
+                               std::int64_t d, bool permute, bool overlap,
+                               std::uint64_t seed) {
+  sim::Machine machine(sim::scale_profile(profile, dataset.scale), gpus,
+                       sim::ExecutionMode::kPhantom);
+
+  const bool overlapping = overlap && gpus > 1;
+  comm::CommOptions comm_options;
+  comm_options.duration_scale = overlapping ? 1.10 : 1.0;
+  comm::Communicator comm(machine, comm_options);
+
+  // Preprocessing identical to the trainer's (Â§5.2 + eq. (2)).
+  util::Rng rng(seed);
+  sparse::Csr adj = dataset.adjacency;
+  if (permute) {
+    const auto perm = rng.permutation<std::uint32_t>(
+        static_cast<std::size_t>(dataset.n()));
+    adj = adj.permute_symmetric(perm);
+  }
+  const sparse::Csr op = adj.normalize_gcn().transpose();
+  const core::PartitionVector partition =
+      core::PartitionVector::uniform(dataset.n(), gpus);
+  core::DistSpmm spmm(machine, comm, core::make_tile_grid(op, partition));
+
+  const auto np = static_cast<std::size_t>(gpus);
+  std::vector<sim::DeviceBuffer> input(np), output(np), bc1(np), bc2(np);
+  for (int r = 0; r < gpus; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    sim::Device& dev = machine.device(r);
+    const auto block = static_cast<std::size_t>(partition.size(r) * d);
+    const auto bc = static_cast<std::size_t>(partition.max_part_size() * d);
+    input[rr] = sim::DeviceBuffer(dev, block, "H");
+    output[rr] = sim::DeviceBuffer(dev, block, "AHW");
+    bc1[rr] = sim::DeviceBuffer(dev, bc, "BC1");
+    if (overlapping) bc2[rr] = sim::DeviceBuffer(dev, bc, "BC2");
+  }
+
+  std::vector<std::array<sim::Event, 2>> slot_readers(np);
+  core::DistSpmm::Io io;
+  for (auto& b : input) io.input.push_back(&b);
+  for (auto& b : output) io.output.push_back(&b);
+  for (auto& b : bc1) io.bc1.push_back(&b);
+  for (auto& b : bc2) io.bc2.push_back(&b);
+  io.d = d;
+  io.overlap = overlapping;
+  io.compute_bandwidth_scale =
+      overlapping
+          ? std::max(0.5, 1.0 - profile.interconnect.collective_bandwidth() /
+                                    profile.device.memory_bandwidth)
+          : 1.0;
+  io.slot_readers = &slot_readers;
+
+  const double mark = machine.align_clocks();
+  spmm.run(io);
+  machine.synchronize();
+
+  SpmmTimeline result;
+  const double x = dataset.extrapolation();
+  result.total_seconds = (machine.sim_time() - mark) * x;
+  result.stage_seconds.assign(
+      np, std::vector<std::pair<double, double>>(np, {0.0, 0.0}));
+  for (const auto& rec : machine.trace().records()) {
+    if (rec.t_begin < mark || rec.stage < 0) continue;
+    auto& cell = result.stage_seconds[static_cast<std::size_t>(rec.device)]
+                                     [static_cast<std::size_t>(rec.stage)];
+    if (rec.kind == sim::TaskKind::kComm) {
+      cell.first += rec.duration() * x;
+    } else {
+      cell.second += rec.duration() * x;
+    }
+  }
+  result.gantt = machine.trace().render_timeline(mark, machine.sim_time());
+  return result;
+}
+
+std::string cell_seconds(const EpochResult& result) {
+  if (result.oom) return "OOM";
+  return util::format_double(result.seconds, result.seconds < 0.1 ? 4 : 3);
+}
+
+void print_header(const std::string& id, const std::string& what,
+                  const graph::DatasetSpec& spec, double scale) {
+  std::cout << "=== " << id << ": " << what << " ===\n"
+            << "dataset " << spec.name << " (full scale n=" << spec.n
+            << ", m=" << spec.m << "), replica scale 1/" << scale
+            << "; timings extrapolated to full scale\n\n";
+}
+
+void print_header(const std::string& id, const std::string& what) {
+  std::cout << "=== " << id << ": " << what << " ===\n\n";
+}
+
+}  // namespace mggcn::bench

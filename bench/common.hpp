@@ -1,0 +1,86 @@
+// Shared infrastructure for the per-figure/table benchmark binaries.
+//
+// Scaling methodology: replicas are generated at spec.n / scale vertices
+// with the full-scale average degree and feature dimensions. To keep the
+// simulation scale-invariant, the machine profile's extensive quantities
+// (HBM capacity, L2 capacity, kernel launch overhead) are divided by the
+// same factor — every term of the cost model is then exactly 1/scale of its
+// full-scale value, so `sim_seconds * scale` reproduces the full-scale
+// estimate and out-of-memory cells appear for exactly the configurations
+// that would OOM at full scale. Each bench prints the scale it used.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+#include "sim/profile.hpp"
+#include "util/table.hpp"
+
+namespace mggcn::bench {
+
+/// Default structure-reduction factor per dataset, tuned so every bench
+/// runs in seconds on one host core.
+double default_scale(const graph::DatasetSpec& spec);
+
+/// Generates (or loads from the on-disk cache) a structure-only replica.
+graph::Dataset load_replica(const graph::DatasetSpec& spec, double scale,
+                            std::uint64_t seed = 42);
+
+enum class System { kMgGcn, kDgl, kCagnet };
+const char* system_name(System system);
+
+struct EpochResult {
+  bool oom = false;
+  /// Full-scale-extrapolated epoch seconds.
+  double seconds = 0.0;
+  /// Full-scale-extrapolated busy seconds per kind (summed over devices).
+  std::map<sim::TaskKind, double> busy;
+  /// Full-scale-extrapolated peak per-device memory (bytes).
+  std::uint64_t peak_memory = 0;
+  /// Load imbalance of the tiling (max/mean tile-row nnz).
+  double imbalance = 1.0;
+};
+
+/// Builds a phantom-mode machine + the requested system and measures one
+/// steady-state epoch. `machine` is the UNSCALED profile; it is scaled by
+/// dataset.scale internally (with the replicated model state held
+/// invariant). OOM configurations return oom = true.
+EpochResult run_epoch(System system, const sim::MachineProfile& machine,
+                      int gpus, const graph::Dataset& dataset,
+                      const core::TrainConfig& config);
+
+/// Pretty seconds for table cells ("0.033" style, like the paper's tables);
+/// "OOM" when the configuration did not fit.
+std::string cell_seconds(const EpochResult& result);
+
+/// Isolated one-shot distributed SpMM for the timeline figures (6 and 8):
+/// partitions the dataset's normalized adjacency transpose, allocates the
+/// dense blocks, runs one staged product, and returns the per-stage
+/// compute/communication trace plus an ASCII Gantt chart.
+struct SpmmTimeline {
+  /// Simulated seconds of the whole staged SpMM (full-scale extrapolated).
+  double total_seconds = 0.0;
+  /// [gpu][stage] -> {comm, compute} simulated seconds (extrapolated).
+  std::vector<std::vector<std::pair<double, double>>> stage_seconds;
+  std::string gantt;
+};
+
+/// `profile` is the unscaled machine profile (scaled internally).
+SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
+                               const sim::MachineProfile& profile, int gpus,
+                               std::int64_t d, bool permute, bool overlap,
+                               std::uint64_t seed = 1);
+
+/// Prints the standard bench header (what is reproduced, scale used).
+void print_header(const std::string& id, const std::string& what,
+                  const graph::DatasetSpec& spec, double scale);
+void print_header(const std::string& id, const std::string& what);
+
+}  // namespace mggcn::bench

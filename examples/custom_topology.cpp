@@ -1,0 +1,137 @@
+// Using the substrate directly: define a custom machine (a hypothetical
+// 4-GPU box with a weak interconnect), drive the NCCL-like communicator and
+// the staged distributed SpMM by hand, and inspect the execution trace —
+// the workflow for extending MG-GCN to new hardware profiles.
+//
+//   ./build/examples/custom_topology
+#include <array>
+#include <iostream>
+
+#include "comm/communicator.hpp"
+#include "core/dist_spmm.hpp"
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "sim/machine.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+using namespace mggcn;
+
+int main() {
+  // A machine profile from scratch: 4 accelerators with V100-like compute
+  // but only one PCIe-class link each.
+  sim::MachineProfile profile;
+  profile.name = "pcie-box";
+  profile.device = {.name = "generic-16GB",
+                    .memory_bytes = 16ULL << 30,
+                    .memory_bandwidth = 700e9,
+                    .l2_bytes = 4ULL << 20,
+                    .peak_flops = 10e12,
+                    .kernel_launch_overhead = 10e-6};
+  profile.interconnect = {.kind = sim::InterconnectKind::kSwitch,
+                          .links_per_device = 1,
+                          .link_bandwidth = 16e9,  // PCIe 3.0 x16-ish
+                          .efficiency = 0.85};
+  profile.max_devices = 4;
+
+  const int gpus = 4;
+  sim::Machine machine(profile, gpus, sim::ExecutionMode::kReal);
+  comm::Communicator comm(machine);
+
+  // A random power-law graph and its 1D row tiling.
+  util::Rng rng(5);
+  graph::BterParams params{.n = 4096, .avg_degree = 32.0,
+                           .degree_sigma = 1.0, .clustering = 0.5};
+  const sparse::Csr adj =
+      sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
+  const sparse::Csr op = adj.normalize_gcn().transpose();
+  const auto partition = core::PartitionVector::uniform(op.rows(), gpus);
+  core::DistSpmm spmm(machine, comm, core::make_tile_grid(op, partition));
+  std::cout << "tile-row nnz imbalance: "
+            << util::format_double(spmm.grid().imbalance(), 2) << '\n';
+
+  // Dense blocks: H filled with ones so the product of the normalized
+  // adjacency must be (nearly) all ones again — a quick sanity check.
+  const std::int64_t d = 64;
+  std::vector<sim::DeviceBuffer> input, output, bc1, bc2;
+  for (int r = 0; r < gpus; ++r) {
+    sim::Device& dev = machine.device(r);
+    const auto block = static_cast<std::size_t>(partition.size(r) * d);
+    input.emplace_back(dev, block, "H");
+    output.emplace_back(dev, block, "AH");
+    bc1.emplace_back(dev,
+                     static_cast<std::size_t>(partition.max_part_size() * d),
+                     "BC1");
+    bc2.emplace_back(dev,
+                     static_cast<std::size_t>(partition.max_part_size() * d),
+                     "BC2");
+    for (float& x : input.back().span()) x = 1.0f;
+  }
+
+  std::vector<std::array<sim::Event, 2>> slot_readers(
+      static_cast<std::size_t>(gpus));
+  core::DistSpmm::Io io;
+  for (auto& b : input) io.input.push_back(&b);
+  for (auto& b : output) io.output.push_back(&b);
+  for (auto& b : bc1) io.bc1.push_back(&b);
+  for (auto& b : bc2) io.bc2.push_back(&b);
+  io.d = d;
+  io.overlap = true;
+  io.compute_bandwidth_scale = 0.9;
+  io.slot_readers = &slot_readers;
+
+  const double t0 = machine.align_clocks();
+  spmm.run(io);
+  machine.synchronize();
+  const double t1 = machine.sim_time();
+
+  double max_err = 0.0;
+  for (auto& buf : output) {
+    for (const float x : buf.span()) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(x) - 1.0));
+    }
+  }
+  std::cout << "distributed A_hat^T * ones: max |x - 1| = " << max_err
+            << " (column-normalized operator preserves ones)\n"
+            << "simulated SpMM time on the PCIe box: "
+            << util::format_seconds(t1 - t0) << "\n\n"
+            << machine.trace().render_timeline(t0, t1, 80);
+
+  // The weak interconnect makes the broadcasts dominate — compare against
+  // a DGX-A100 with the identical workload.
+  sim::Machine dgx(sim::dgx_a100(), gpus, sim::ExecutionMode::kPhantom);
+  comm::Communicator dgx_comm(dgx);
+  core::DistSpmm dgx_spmm(dgx, dgx_comm, core::make_tile_grid(op, partition));
+  std::vector<sim::DeviceBuffer> di, doo, db1, db2;
+  for (int r = 0; r < gpus; ++r) {
+    sim::Device& dev = dgx.device(r);
+    const auto block = static_cast<std::size_t>(partition.size(r) * d);
+    di.emplace_back(dev, block, "H");
+    doo.emplace_back(dev, block, "AH");
+    db1.emplace_back(dev,
+                     static_cast<std::size_t>(partition.max_part_size() * d),
+                     "BC1");
+    db2.emplace_back(dev,
+                     static_cast<std::size_t>(partition.max_part_size() * d),
+                     "BC2");
+  }
+  std::vector<std::array<sim::Event, 2>> dgx_readers(
+      static_cast<std::size_t>(gpus));
+  core::DistSpmm::Io dio = io;
+  dio.input.clear();
+  dio.output.clear();
+  dio.bc1.clear();
+  dio.bc2.clear();
+  for (auto& b : di) dio.input.push_back(&b);
+  for (auto& b : doo) dio.output.push_back(&b);
+  for (auto& b : db1) dio.bc1.push_back(&b);
+  for (auto& b : db2) dio.bc2.push_back(&b);
+  dio.slot_readers = &dgx_readers;
+
+  const double u0 = dgx.align_clocks();
+  dgx_spmm.run(dio);
+  dgx.synchronize();
+  std::cout << "\nsame SpMM on DGX-A100: "
+            << util::format_seconds(dgx.sim_time() - u0) << '\n';
+  return 0;
+}

@@ -1,0 +1,44 @@
+// CAGNET-like baseline (multi-GPU, 1D).
+//
+// CAGNET (Tripathy, Yelick, Buluç; SC'20) trains full-batch GCNs with 1D /
+// 1.5D / 2D / 3D SUMMA-style partitionings on top of PyTorch + NCCL 2.4.
+// The paper compares against its best variant (1D) on DGX-V100 (§6.5) and
+// reports: no buffer reuse (hence the memory gap of Fig. 12 and the
+// Proteins OOM of Fig. 10), no communication/computation overlap, no
+// load-balancing permutation, and an older NCCL. This baseline runs the
+// same engine at exactly that design point.
+//
+// The 1.5D variant is covered analytically by bench_sec51_partitioning
+// (matching §5.1, which argues it from bandwidth arithmetic rather than
+// measurement).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::baselines {
+
+core::TrainConfig cagnet_config(core::TrainConfig base);
+
+class CagnetTrainer {
+ public:
+  CagnetTrainer(sim::Machine& machine, const graph::Dataset& dataset,
+                core::TrainConfig base = {});
+
+  core::EpochStats train_epoch() { return trainer_.train_epoch(); }
+  std::vector<core::EpochStats> train(int epochs) {
+    return trainer_.train(epochs);
+  }
+  [[nodiscard]] std::uint64_t peak_memory_bytes() const {
+    return trainer_.peak_memory_bytes();
+  }
+  [[nodiscard]] const core::MgGcnTrainer& engine() const { return trainer_; }
+
+ private:
+  core::MgGcnTrainer trainer_;
+};
+
+}  // namespace mggcn::baselines

@@ -1,0 +1,69 @@
+#include "baselines/distgnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/kernels.hpp"
+#include "sim/cost_model.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::baselines {
+
+double DistGnnModel::replication_factor(int sockets) {
+  MGGCN_CHECK(sockets >= 1);
+  // Libra vertex cuts of power-law graphs replicate sub-linearly in the
+  // part count; hubs are split across most parts.
+  return 1.0 + 0.55 * std::pow(static_cast<double>(sockets) - 1.0, 0.6);
+}
+
+double DistGnnModel::epoch_seconds(const graph::DatasetSpec& spec,
+                                   const std::vector<std::int64_t>& dims,
+                                   int sockets) const {
+  MGGCN_CHECK(dims.size() >= 2 && sockets >= 1);
+  const double s = sockets;
+  const double n_local = static_cast<double>(spec.n) / s;
+  const double nnz_local = static_cast<double>(spec.m) / s;
+  const auto layers = dims.size() - 1;
+
+  double kernel_seconds = 0.0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const auto d_in = dims[l];
+    const auto d_out = dims[l + 1];
+
+    // Forward: GeMM + SpMM on d_out; backward: SpMM on d_out + two GeMMs.
+    // DistGNN has no first-layer skip (2 SpMMs per layer except one saved
+    // GeMM at the input).
+    sim::KernelCost spmm = sparse::spmm_cost(
+        static_cast<std::int64_t>(nnz_local),
+        static_cast<std::int64_t>(n_local),
+        static_cast<std::int64_t>(n_local), d_out);
+    sim::KernelCost gemm = dense::gemm_cost(
+        static_cast<std::int64_t>(n_local), d_out, d_in);
+
+    kernel_seconds += 2.0 * sim::CostModel::seconds(spmm, machine_.device);
+    kernel_seconds += 3.0 * sim::CostModel::seconds(gemm, machine_.device);
+  }
+  kernel_seconds /= kKernelEfficiency;
+
+  // Host-side aggregation framework overhead, forward + backward.
+  const double overhead_seconds = 2.0 * kPerEdgeOverhead * nnz_local;
+
+  // Communication: replicated boundary features synchronized per layer in
+  // both passes over the HDR fabric.
+  double comm_seconds = 0.0;
+  if (sockets > 1) {
+    const double replicated = (replication_factor(sockets) - 1.0) * n_local;
+    const double fabric_bw = machine_.interconnect.link_bandwidth *
+                             machine_.interconnect.efficiency;
+    for (std::size_t l = 0; l < layers; ++l) {
+      comm_seconds += 2.0 * replicated * 4.0 *
+                      static_cast<double>(dims[l + 1]) / fabric_bw;
+    }
+  }
+
+  const double sync_seconds = sockets > 1 ? kSyncOverhead : 0.0;
+  return kernel_seconds + overhead_seconds + comm_seconds + sync_seconds;
+}
+
+}  // namespace mggcn::baselines

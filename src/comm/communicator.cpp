@@ -1,0 +1,204 @@
+#include "comm/communicator.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mggcn::comm {
+
+Communicator::Communicator(sim::Machine& machine, CommOptions options)
+    : topology_(machine.profile().interconnect), options_(options) {
+  devices_.reserve(static_cast<std::size_t>(machine.num_devices()));
+  for (int rank = 0; rank < machine.num_devices(); ++rank) {
+    devices_.push_back(&machine.device(rank));
+  }
+}
+
+Communicator::Communicator(std::vector<sim::Device*> devices,
+                           Topology topology, CommOptions options)
+    : devices_(std::move(devices)),
+      topology_(topology),
+      options_(options) {
+  MGGCN_CHECK_MSG(!devices_.empty(), "communicator needs at least one device");
+}
+
+sim::Stream& Communicator::stream_of(int rank, StreamChoice choice) {
+  sim::Device& device = *devices_[static_cast<std::size_t>(rank)];
+  return choice == StreamChoice::kComm ? device.comm_stream()
+                                       : device.compute_stream();
+}
+
+std::vector<sim::Event> Communicator::launch(std::vector<RankPart> parts,
+                                             std::size_t count, int executor,
+                                             double duration,
+                                             const char* label,
+                                             std::function<void()> action,
+                                             StreamChoice stream, int stage) {
+  MGGCN_CHECK_MSG(parts.size() == devices_.size(),
+                  "collective needs one part per rank");
+  MGGCN_CHECK(executor >= 0 && executor < size());
+
+  auto group = std::make_shared<sim::CollectiveGroup>(size());
+  group->duration = duration * options_.duration_scale;
+  group->action = std::move(action);
+
+  std::vector<sim::Event> events;
+  events.reserve(parts.size());
+  for (int rank = 0; rank < size(); ++rank) {
+    auto& part = parts[static_cast<std::size_t>(rank)];
+    sim::TaskDesc desc;
+    desc.label = label;
+    desc.kind = sim::TaskKind::kComm;
+    desc.stage = stage;
+    desc.waits = std::move(part.waits);
+    desc.collective = group;
+    desc.collective_executor = rank == executor;
+    events.push_back(stream_of(rank, stream).enqueue(std::move(desc)));
+  }
+  (void)count;
+  return events;
+}
+
+std::vector<sim::Event> Communicator::broadcast(std::vector<RankPart> parts,
+                                                std::size_t count, int root,
+                                                StreamChoice stream,
+                                                int stage) {
+  MGGCN_CHECK(root >= 0 && root < size());
+  if (size() == 1) {
+    // Degenerate collective: nothing moves, but callers still get events.
+    return launch(std::move(parts), count, 0, 0.0, "broadcast", nullptr,
+                  stream, stage);
+  }
+
+  const std::uint64_t bytes = count * sizeof(float);
+  const double duration = topology_.broadcast_seconds(bytes, size());
+
+  std::vector<float*> dsts;
+  const float* src = parts[static_cast<std::size_t>(root)].buffer != nullptr
+                         ? parts[static_cast<std::size_t>(root)].buffer->data()
+                         : nullptr;
+  for (auto& part : parts) {
+    dsts.push_back(part.buffer != nullptr ? part.buffer->data() : nullptr);
+  }
+
+  auto action = [src, dsts = std::move(dsts), count, root] {
+    if (src == nullptr) return;  // phantom-mode buffers carry no storage
+    for (std::size_t rank = 0; rank < dsts.size(); ++rank) {
+      if (static_cast<int>(rank) == root) continue;
+      if (dsts[rank] != nullptr && dsts[rank] != src) {
+        std::memcpy(dsts[rank], src, count * sizeof(float));
+      }
+    }
+  };
+  return launch(std::move(parts), count, root, duration, "broadcast",
+                std::move(action), stream, stage);
+}
+
+std::vector<sim::Event> Communicator::allreduce_sum(std::vector<RankPart> parts,
+                                                    std::size_t count,
+                                                    StreamChoice stream) {
+  if (size() == 1) {
+    return launch(std::move(parts), count, 0, 0.0, "allreduce", nullptr,
+                  stream);
+  }
+
+  const std::uint64_t bytes = count * sizeof(float);
+  const double duration = topology_.allreduce_seconds(bytes, size());
+
+  std::vector<float*> bufs;
+  for (auto& part : parts) {
+    bufs.push_back(part.buffer != nullptr ? part.buffer->data() : nullptr);
+  }
+
+  auto action = [bufs = std::move(bufs), count] {
+    if (bufs.empty() || bufs[0] == nullptr) return;
+    // Deterministic rank-order reduction into rank 0, then broadcast back.
+    for (std::size_t rank = 1; rank < bufs.size(); ++rank) {
+      if (bufs[rank] == nullptr) return;
+      for (std::size_t i = 0; i < count; ++i) bufs[0][i] += bufs[rank][i];
+    }
+    for (std::size_t rank = 1; rank < bufs.size(); ++rank) {
+      std::memcpy(bufs[rank], bufs[0], count * sizeof(float));
+    }
+  };
+  return launch(std::move(parts), count, /*executor=*/0, duration,
+                "allreduce", std::move(action), stream);
+}
+
+std::vector<sim::Event> Communicator::reduce_sum(std::vector<RankPart> parts,
+                                                 std::size_t count, int root,
+                                                 StreamChoice stream) {
+  MGGCN_CHECK(root >= 0 && root < size());
+  if (size() == 1) {
+    return launch(std::move(parts), count, 0, 0.0, "reduce", nullptr, stream);
+  }
+
+  const std::uint64_t bytes = count * sizeof(float);
+  const double duration = topology_.reduce_seconds(bytes, size());
+
+  std::vector<float*> bufs;
+  for (auto& part : parts) {
+    bufs.push_back(part.buffer != nullptr ? part.buffer->data() : nullptr);
+  }
+
+  auto action = [bufs = std::move(bufs), count, root] {
+    if (bufs.empty() || bufs[static_cast<std::size_t>(root)] == nullptr)
+      return;
+    float* dst = bufs[static_cast<std::size_t>(root)];
+    for (std::size_t rank = 0; rank < bufs.size(); ++rank) {
+      if (static_cast<int>(rank) == root) continue;
+      if (bufs[rank] == nullptr) return;
+      for (std::size_t i = 0; i < count; ++i) dst[i] += bufs[rank][i];
+    }
+  };
+  return launch(std::move(parts), count, root, duration, "reduce",
+                std::move(action), stream);
+}
+
+std::vector<sim::Event> Communicator::allgather(
+    std::vector<RankPart> parts, const std::vector<std::size_t>& counts,
+    StreamChoice stream) {
+  MGGCN_CHECK(counts.size() == parts.size());
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  if (size() == 1) {
+    return launch(std::move(parts), total, 0, 0.0, "allgather", nullptr,
+                  stream);
+  }
+
+  const double duration =
+      topology_.allgather_seconds(total * sizeof(float), size());
+
+  std::vector<float*> bufs;
+  for (auto& part : parts) {
+    bufs.push_back(part.buffer != nullptr ? part.buffer->data() : nullptr);
+  }
+  auto action = [bufs = std::move(bufs), counts] {
+    if (bufs.empty() || bufs[0] == nullptr) return;
+    // Gather every rank's head segment into a scratch image, then write the
+    // concatenation back to all ranks (in-place safe for rank order).
+    std::size_t total = 0;
+    for (const std::size_t c : counts) total += c;
+    std::vector<float> image(total);
+    std::size_t offset = 0;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      if (bufs[r] == nullptr) return;
+      std::memcpy(image.data() + offset, bufs[r], counts[r] * sizeof(float));
+      offset += counts[r];
+    }
+    for (float* dst : bufs) {
+      std::memcpy(dst, image.data(), total * sizeof(float));
+    }
+  };
+  return launch(std::move(parts), total, /*executor=*/0, duration,
+                "allgather", std::move(action), stream);
+}
+
+std::vector<sim::Event> Communicator::barrier(StreamChoice stream) {
+  std::vector<RankPart> parts(static_cast<std::size_t>(size()));
+  return launch(std::move(parts), 0, 0, topology_.base_latency(), "barrier",
+                nullptr, stream);
+}
+
+}  // namespace mggcn::comm

@@ -1,0 +1,94 @@
+// NCCL-like collectives over simulated devices.
+//
+// Semantics follow NCCL: every participating rank enqueues its part of the
+// collective onto one of its streams; a rank's part completes when the whole
+// collective does. Data movement is real (the designated executor rank
+// copies/reduces between the devices' buffers, which share the host address
+// space — the stand-in for NVLink peer access); duration comes from the
+// Topology model. Simulated start time is synchronized across ranks, so
+// stragglers delay everyone — exactly the load-imbalance effect the paper's
+// Fig. 6 visualizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <functional>
+
+#include "comm/topology.hpp"
+#include "sim/device.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::comm {
+
+/// Which stream each rank's collective part runs on.
+enum class StreamChoice { kCompute, kComm };
+
+/// One rank's view of a collective: its buffer and the events its part must
+/// wait for before the collective can start on that rank.
+struct RankPart {
+  sim::DeviceBuffer* buffer = nullptr;
+  std::vector<sim::Event> waits;
+};
+
+struct CommOptions {
+  /// Multiplier on every collective duration (models e.g. the older NCCL
+  /// 2.4 CAGNET links against: efficiency below current NCCL).
+  double duration_scale = 1.0;
+};
+
+class Communicator {
+ public:
+  /// A communicator over all devices of a machine.
+  Communicator(sim::Machine& machine, CommOptions options = {});
+
+  /// A communicator over an explicit subset (1.5D replication groups).
+  Communicator(std::vector<sim::Device*> devices, Topology topology,
+               CommOptions options = {});
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// Broadcast `count` floats from parts[root].buffer into every rank's
+  /// buffer. Returns one completion event per rank, in rank order.
+  std::vector<sim::Event> broadcast(std::vector<RankPart> parts,
+                                    std::size_t count, int root,
+                                    StreamChoice stream = StreamChoice::kComm,
+                                    int stage = -1);
+
+  /// Element-wise sum of all ranks' buffers, result visible on every rank
+  /// (ring allreduce timing).
+  std::vector<sim::Event> allreduce_sum(
+      std::vector<RankPart> parts, std::size_t count,
+      StreamChoice stream = StreamChoice::kComm);
+
+  /// Sum of all ranks' buffers into parts[root].buffer only.
+  std::vector<sim::Event> reduce_sum(std::vector<RankPart> parts,
+                                     std::size_t count, int root,
+                                     StreamChoice stream = StreamChoice::kComm);
+
+  /// All-gather: rank r contributes `counts[r]` floats from the head of
+  /// its buffer; every rank ends with the concatenation (in rank order) in
+  /// a buffer of capacity sum(counts).
+  std::vector<sim::Event> allgather(std::vector<RankPart> parts,
+                                    const std::vector<std::size_t>& counts,
+                                    StreamChoice stream = StreamChoice::kComm);
+
+  /// Synchronization-only collective (simulated-time rendezvous).
+  std::vector<sim::Event> barrier(StreamChoice stream = StreamChoice::kComm);
+
+ private:
+  std::vector<sim::Event> launch(std::vector<RankPart> parts,
+                                 std::size_t count, int executor,
+                                 double duration, const char* label,
+                                 std::function<void()> action,
+                                 StreamChoice stream, int stage = -1);
+
+  [[nodiscard]] sim::Stream& stream_of(int rank, StreamChoice choice);
+
+  std::vector<sim::Device*> devices_;
+  Topology topology_;
+  CommOptions options_;
+};
+
+}  // namespace mggcn::comm

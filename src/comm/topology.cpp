@@ -1,0 +1,72 @@
+#include "comm/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mggcn::comm {
+
+int Topology::usable_links(int group_size) const {
+  MGGCN_CHECK(group_size >= 1);
+  switch (profile_.kind) {
+    case sim::InterconnectKind::kSwitch:
+    case sim::InterconnectKind::kHostFabric:
+      return profile_.links_per_device;
+    case sim::InterconnectKind::kCubeMesh: {
+      // Hybrid cube mesh (DGX-1): the paper's §5.1 accounting — the full
+      // clique sees all 6 links, a quad sees 4 of them, a cross-quad pair
+      // only 2. Smaller groups degrade proportionally.
+      if (group_size >= 8) return profile_.links_per_device;
+      if (group_size >= 4) return std::min(profile_.links_per_device, 4);
+      if (group_size >= 2) return std::min(profile_.links_per_device, 2);
+      return profile_.links_per_device;
+    }
+  }
+  return profile_.links_per_device;
+}
+
+double Topology::group_bandwidth(int group_size) const {
+  const double intra = usable_links(group_size) * profile_.link_bandwidth *
+                       profile_.efficiency;
+  // A collective spanning several nodes is bottlenecked by the inter-node
+  // fabric: all of the root's traffic to remote nodes funnels through one
+  // NIC — the bandwidth cliff that stalls scaling beyond a single machine
+  // (abstract; CAGNET's observation).
+  if (profile_.devices_per_node > 0 &&
+      group_size > profile_.devices_per_node &&
+      profile_.internode_bandwidth > 0.0) {
+    return std::min(intra, profile_.internode_bandwidth * profile_.efficiency);
+  }
+  return intra;
+}
+
+double Topology::broadcast_seconds(std::uint64_t bytes,
+                                   int group_size) const {
+  if (group_size <= 1 || bytes == 0) return 0.0;
+  return base_latency() +
+         static_cast<double>(bytes) / group_bandwidth(group_size);
+}
+
+double Topology::allreduce_seconds(std::uint64_t bytes,
+                                   int group_size) const {
+  if (group_size <= 1 || bytes == 0) return 0.0;
+  const double p = group_size;
+  return base_latency() + 2.0 * (p - 1.0) / p * static_cast<double>(bytes) /
+                              group_bandwidth(group_size);
+}
+
+double Topology::reduce_seconds(std::uint64_t bytes, int group_size) const {
+  if (group_size <= 1 || bytes == 0) return 0.0;
+  return base_latency() +
+         static_cast<double>(bytes) / group_bandwidth(group_size);
+}
+
+double Topology::allgather_seconds(std::uint64_t total_bytes,
+                                   int group_size) const {
+  if (group_size <= 1 || total_bytes == 0) return 0.0;
+  const double p = group_size;
+  return base_latency() + (p - 1.0) / p * static_cast<double>(total_bytes) /
+                              group_bandwidth(group_size);
+}
+
+}  // namespace mggcn::comm

@@ -1,0 +1,61 @@
+// Interconnect topology model.
+//
+// Converts collective operations (bytes, participant set) into simulated
+// durations using the paper's own §5.1 bandwidth model: a collective rooted
+// at one device moves bytes / (usable_links * link_bandwidth). The number of
+// usable links depends on the topology and the participant-group size:
+//
+//  - DGX-A100 (NVSwitch): every group can use all 12 links of each GPU.
+//  - DGX-1 (hybrid cube mesh): the full 8-GPU group exposes 6 links per
+//    GPU, a 4-GPU quad only 4, and a cross-quad pair only 2 — this is the
+//    asymmetry that makes 1.5D algorithms lose on DGX-1 (§5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/profile.hpp"
+
+namespace mggcn::comm {
+
+class Topology {
+ public:
+  explicit Topology(sim::InterconnectProfile profile)
+      : profile_(profile) {}
+
+  [[nodiscard]] const sim::InterconnectProfile& profile() const {
+    return profile_;
+  }
+
+  /// Links each participant can use for a collective spanning `group_size`
+  /// devices of an 8-device machine.
+  [[nodiscard]] int usable_links(int group_size) const;
+
+  /// Aggregate one-direction bandwidth (bytes/s) for such a collective,
+  /// including the protocol-efficiency factor.
+  [[nodiscard]] double group_bandwidth(int group_size) const;
+
+  /// One-to-all broadcast of `bytes`.
+  [[nodiscard]] double broadcast_seconds(std::uint64_t bytes,
+                                         int group_size) const;
+
+  /// Ring allreduce of `bytes` (each rank sends/receives
+  /// 2*(P-1)/P * bytes).
+  [[nodiscard]] double allreduce_seconds(std::uint64_t bytes,
+                                         int group_size) const;
+
+  /// All-to-one reduction of `bytes`.
+  [[nodiscard]] double reduce_seconds(std::uint64_t bytes,
+                                      int group_size) const;
+
+  /// All-to-all gather where each rank contributes bytes/P.
+  [[nodiscard]] double allgather_seconds(std::uint64_t total_bytes,
+                                         int group_size) const;
+
+  /// Fixed latency of any collective call (protocol setup).
+  [[nodiscard]] double base_latency() const { return 4e-6; }
+
+ private:
+  sim::InterconnectProfile profile_;
+};
+
+}  // namespace mggcn::comm

@@ -1,0 +1,184 @@
+#include "core/dist_spmm.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "dense/matrix.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+DistSpmm::DistSpmm(sim::Machine& machine, comm::Communicator& comm,
+                   TileGrid grid)
+    : machine_(machine), comm_(comm), grid_(std::move(grid)) {
+  MGGCN_CHECK_MSG(grid_.parts() == machine_.num_devices(),
+                  "tile grid parts must equal device count");
+}
+
+void DistSpmm::account_memory() {
+  MGGCN_CHECK_MSG(!memory_accounted_, "memory already accounted");
+  for (int r = 0; r < parts(); ++r) {
+    std::uint64_t bytes = 0;
+    for (int s = 0; s < parts(); ++s) bytes += grid_.tile(r, s).footprint_bytes();
+    machine_.device(r).reserve_memory(bytes, "adjacency tiles");
+  }
+  memory_accounted_ = true;
+}
+
+DistSpmm::~DistSpmm() {
+  if (!memory_accounted_) return;
+  for (int r = 0; r < parts(); ++r) {
+    std::uint64_t bytes = 0;
+    for (int s = 0; s < parts(); ++s) bytes += grid_.tile(r, s).footprint_bytes();
+    machine_.device(r).release_memory(bytes);
+  }
+}
+
+namespace {
+
+sim::KernelCost scaled_spmm_cost(const sparse::Csr& tile, std::int64_t d,
+                                 const DistSpmm::Io& io) {
+  sim::KernelCost cost = sparse::spmm_cost(tile, d);
+  cost.stream_bytes *= io.traffic_factor;
+  cost.gather_bytes *= io.traffic_factor;
+  cost.launches = static_cast<int>(cost.launches * io.launch_multiplier + 0.5);
+  return cost;
+}
+
+}  // namespace
+
+DistSpmm::Result DistSpmm::run(const Io& io) {
+  const int p = parts();
+  const auto np = static_cast<std::size_t>(p);
+  MGGCN_CHECK(io.input.size() == np && io.output.size() == np);
+  MGGCN_CHECK(io.bc1.size() == np);
+  MGGCN_CHECK(!io.overlap || io.bc2.size() == np);
+  MGGCN_CHECK(io.input_ready.empty() || io.input_ready.size() == np);
+
+  Result result;
+  result.done.resize(np);
+  result.input_released.resize(np);
+
+  if (p == 1) {
+    // Single device: one local SpMM, no communication.
+    const sparse::Csr& tile = grid_.tile(0, 0);
+    sim::TaskDesc task;
+    task.label = "spmm";
+    task.kind = sim::TaskKind::kSpMM;
+    task.stage = 0;
+    task.cost = scaled_spmm_cost(tile, io.d, io);
+    if (!io.input_ready.empty() && io.input_ready[0].valid()) {
+      task.waits.push_back(io.input_ready[0]);
+    }
+    float* in = io.input[0]->data();
+    float* out = io.output[0]->data();
+    const std::int64_t d = io.d;
+    task.body = [&tile, in, out, d] {
+      sparse::spmm(tile,
+                   dense::ConstMatrixView{in, tile.cols(), d},
+                   dense::MatrixView{out, tile.rows(), d});
+    };
+    sim::Event done = machine_.device(0).compute_stream().enqueue(
+        std::move(task));
+    result.done[0] = done;
+    result.input_released[0] = done;
+    return result;
+  }
+
+  // Per rank and broadcast-slot, the SpMM event that last read that slot
+  // (write-after-read hazard for the next broadcast into it). Persisted by
+  // the caller across staged products because the buffers are shared.
+  MGGCN_CHECK_MSG(io.slot_readers != nullptr && io.slot_readers->size() == np,
+                  "slot_readers hazard state is required for multi-device");
+  std::vector<std::array<sim::Event, 2>>& slot_last_reader = *io.slot_readers;
+  std::vector<sim::Event> last_spmm(np);
+
+  for (int s = 0; s < p; ++s) {
+    const int slot = io.overlap ? (s % 2) : 0;
+
+    // --- broadcast of rank s's input block -------------------------------
+    std::vector<comm::RankPart> parts_(np);
+    for (int r = 0; r < p; ++r) {
+      auto& part = parts_[static_cast<std::size_t>(r)];
+      part.buffer = r == s ? io.input[static_cast<std::size_t>(s)]
+                           : (slot == 0 ? io.bc1[static_cast<std::size_t>(r)]
+                                        : io.bc2[static_cast<std::size_t>(r)]);
+      if (r == s) {
+        // Root: its block must have been produced.
+        if (!io.input_ready.empty() &&
+            io.input_ready[static_cast<std::size_t>(r)].valid()) {
+          part.waits.push_back(io.input_ready[static_cast<std::size_t>(r)]);
+        }
+      } else {
+        // Receiver: the previous reader of this broadcast slot must be done.
+        const sim::Event& hazard =
+            slot_last_reader[static_cast<std::size_t>(r)][static_cast<std::size_t>(slot)];
+        if (hazard.valid()) part.waits.push_back(hazard);
+        if (!io.overlap && last_spmm[static_cast<std::size_t>(r)].valid()) {
+          // Non-overlapping schedule: fully serialize comm after compute.
+          part.waits.push_back(last_spmm[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+    const std::size_t count = static_cast<std::size_t>(
+        grid_.partition.size(s) * io.d);
+    std::vector<sim::Event> bcast = comm_.broadcast(
+        std::move(parts_), count, s, comm::StreamChoice::kComm, s);
+
+    // --- per-rank SpMM with the received block ---------------------------
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      const sparse::Csr& tile = grid_.tile(r, s);
+      sim::DeviceBuffer* src =
+          r == s ? io.input[rr] : (slot == 0 ? io.bc1[rr] : io.bc2[rr]);
+
+      sim::TaskDesc task;
+      task.label = "spmm";
+      task.kind = sim::TaskKind::kSpMM;
+      task.stage = s;
+      task.cost = scaled_spmm_cost(tile, io.d, io);
+      if (io.overlap && s + 1 < p) {
+        // HBM contention is only paid while the next stage's broadcast is
+        // actually in flight: dilate by the expected overlap fraction
+        // (the paper's ~1/6 bandwidth loss applies during that window).
+        const double spmm_est = sim::CostModel::seconds(
+            task.cost, machine_.device(r).profile());
+        const double bcast_est = comm_.topology().broadcast_seconds(
+            static_cast<std::uint64_t>(grid_.partition.size(s + 1) * io.d) *
+                sizeof(float),
+            p);
+        const double contention = 1.0 - io.compute_bandwidth_scale;
+        const double fraction =
+            spmm_est > 0.0 ? std::min(1.0, bcast_est / spmm_est) : 0.0;
+        task.bandwidth_scale = 1.0 - fraction * contention;
+      }
+      task.waits.push_back(bcast[rr]);
+
+      float* in = src->data();
+      float* out = io.output[rr]->data();
+      const std::int64_t d = io.d;
+      const float beta = s == 0 ? 0.0f : 1.0f;
+      task.body = [&tile, in, out, d, beta] {
+        sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                     dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+      };
+
+      sim::Event done =
+          machine_.device(r).compute_stream().enqueue(std::move(task));
+      if (r != s) {
+        slot_last_reader[rr][static_cast<std::size_t>(slot)] = done;
+      }
+      last_spmm[rr] = done;
+      if (r == s) {
+        // The rank's own block is released once its broadcast completed.
+        result.input_released[rr] = bcast[rr];
+      }
+    }
+  }
+
+  result.done = last_spmm;
+  return result;
+}
+
+}  // namespace mggcn::core

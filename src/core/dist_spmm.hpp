@@ -1,0 +1,100 @@
+// Distributed multi-stage SpMM (§4.1, Figs. 2-3) with optional
+// communication/computation overlap (§4.3, Fig. 8).
+//
+// Semantics: with the symmetric 1D partition p, rank i owns tile row i of
+// the (already transposed, for the forward direction) adjacency operator and
+// the i-th row block of the dense input. The product runs in P stages; at
+// stage s, rank s broadcasts its dense block and every rank i accumulates
+//
+//     C^i += A^{is} * H^s .
+//
+// Without overlap, stage s+1's broadcast waits for stage s's SpMM (one
+// broadcast buffer BC1). With overlap, broadcasts run on the comm stream one
+// stage ahead into the double buffer BC1/BC2: broadcast s+1 only waits for
+// SpMM s-1 (the previous reader of that buffer), and SpMM kernels run with a
+// reduced HBM bandwidth share to model the NVLink contention the paper
+// measures (~1/6 on V100).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/partition.hpp"
+#include "sim/device.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::core {
+
+class DistSpmm {
+ public:
+  /// `grid` holds the operator's tiles: grid.tile(i, s) multiplies the
+  /// stage-s broadcast on rank i.
+  DistSpmm(sim::Machine& machine, comm::Communicator& comm, TileGrid grid);
+
+  /// Registers the tiles' CSR footprints with each device's memory
+  /// accounting (call once after construction; released on destruction).
+  void account_memory();
+  ~DistSpmm();
+
+  DistSpmm(const DistSpmm&) = delete;
+  DistSpmm& operator=(const DistSpmm&) = delete;
+
+  struct Io {
+    /// Per-rank dense input blocks (part_size(r) x d each).
+    std::vector<sim::DeviceBuffer*> input;
+    /// Per-rank outputs (part_size(r) x d); overwritten (beta = 0).
+    std::vector<sim::DeviceBuffer*> output;
+    /// Per-rank broadcast buffers (max_part_size x d capacity).
+    std::vector<sim::DeviceBuffer*> bc1;
+    /// Second broadcast buffer; required iff overlap.
+    std::vector<sim::DeviceBuffer*> bc2;
+    /// Dense width.
+    std::int64_t d = 0;
+    /// Per-rank events that must complete before that rank's input block
+    /// may be read (i.e. before its broadcast stage).
+    std::vector<sim::Event> input_ready;
+
+    bool overlap = false;
+    /// HBM bandwidth share for SpMM kernels while overlapped. The matching
+    /// comm-side dilation is configured on the Communicator
+    /// (CommOptions::duration_scale).
+    double compute_bandwidth_scale = 1.0;
+    /// Baseline-emulation: multiplies SpMM memory traffic and the kernel
+    /// launch count (see TrainConfig).
+    double traffic_factor = 1.0;
+    double launch_multiplier = 1.0;
+
+    /// Per-rank, per-slot events of the last SpMM that READ each broadcast
+    /// buffer ([rank][0] = BC1, [rank][1] = BC2). The buffers outlive any
+    /// single staged product (they are shared across layers and between the
+    /// forward and backward operators, §4.2), so this write-after-read
+    /// hazard state must too: it is owned by the caller and updated here.
+    std::vector<std::array<sim::Event, 2>>* slot_readers = nullptr;
+  };
+
+  struct Result {
+    /// Per-rank completion of the rank's output block.
+    std::vector<sim::Event> done;
+    /// Per-rank release of the rank's *input* block (its broadcast has been
+    /// consumed; the buffer may be overwritten).
+    std::vector<sim::Event> input_released;
+  };
+
+  /// Enqueues the whole staged product; returns immediately.
+  Result run(const Io& io);
+
+  [[nodiscard]] const TileGrid& grid() const { return grid_; }
+  [[nodiscard]] const PartitionVector& partition() const {
+    return grid_.partition;
+  }
+  [[nodiscard]] int parts() const { return grid_.parts(); }
+
+ private:
+  sim::Machine& machine_;
+  comm::Communicator& comm_;
+  TileGrid grid_;
+  bool memory_accounted_ = false;
+};
+
+}  // namespace mggcn::core

@@ -1,0 +1,162 @@
+#include "core/dist_spmm_15d.hpp"
+
+#include "dense/matrix.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+DistSpmm15D::DistSpmm15D(sim::Machine& machine, const sparse::Csr& op)
+    : machine_(machine) {
+  const int p = machine_.num_devices();
+  MGGCN_CHECK_MSG(p >= 4 && p % kReplication == 0,
+                  "1.5D (c=2) needs an even device count >= 4");
+  groups_ = p / kReplication;
+  MGGCN_CHECK_MSG(op.rows() == op.cols(), "operator must be square");
+
+  partition_ = PartitionVector::uniform(op.rows(), groups_);
+  const TileGrid grid = make_tile_grid(op, partition_);
+
+  // Distribute tile A^{j,s} to rank (s mod c)*G + j; each rank keeps its
+  // tiles in round order.
+  tiles_.resize(static_cast<std::size_t>(p));
+  for (int j = 0; j < groups_; ++j) {
+    for (int s = 0; s < groups_; ++s) {
+      const int g = s % kReplication;
+      const int rank = g * groups_ + j;
+      tiles_[static_cast<std::size_t>(rank)].push_back(grid.tile(j, s));
+    }
+  }
+
+  const comm::Topology topology(machine_.profile().interconnect);
+  for (int g = 0; g < kReplication; ++g) {
+    std::vector<sim::Device*> devices;
+    for (int j = 0; j < groups_; ++j) {
+      devices.push_back(&machine_.device(g * groups_ + j));
+    }
+    group_comms_.push_back(std::make_unique<comm::Communicator>(
+        std::move(devices), topology));
+  }
+  for (int j = 0; j < groups_; ++j) {
+    std::vector<sim::Device*> pair = {&machine_.device(j),
+                                      &machine_.device(groups_ + j)};
+    pair_comms_.push_back(
+        std::make_unique<comm::Communicator>(std::move(pair), topology));
+  }
+}
+
+void DistSpmm15D::account_memory() {
+  MGGCN_CHECK_MSG(!memory_accounted_, "memory already accounted");
+  for (int r = 0; r < machine_.num_devices(); ++r) {
+    std::uint64_t bytes = 0;
+    for (const auto& tile : tiles_[static_cast<std::size_t>(r)]) {
+      bytes += tile.footprint_bytes();
+    }
+    machine_.device(r).reserve_memory(bytes, "1.5D adjacency tiles");
+  }
+  memory_accounted_ = true;
+}
+
+DistSpmm15D::~DistSpmm15D() {
+  if (!memory_accounted_) return;
+  for (int r = 0; r < machine_.num_devices(); ++r) {
+    std::uint64_t bytes = 0;
+    for (const auto& tile : tiles_[static_cast<std::size_t>(r)]) {
+      bytes += tile.footprint_bytes();
+    }
+    machine_.device(r).release_memory(bytes);
+  }
+}
+
+DistSpmm15D::Result DistSpmm15D::run(const Io& io) {
+  const int p = machine_.num_devices();
+  const auto np = static_cast<std::size_t>(p);
+  MGGCN_CHECK(io.input.size() == np && io.output.size() == np &&
+              io.bc.size() == np);
+  MGGCN_CHECK(io.input_ready.empty() || io.input_ready.size() == np);
+
+  const int rounds = groups_ / kReplication + (groups_ % kReplication != 0);
+  std::vector<sim::Event> last_spmm(np);
+
+  for (int t = 0; t < rounds; ++t) {
+    for (int g = 0; g < kReplication; ++g) {
+      const int s = t * kReplication + g;
+      if (s >= groups_) continue;
+
+      // Broadcast H^s within group g (root: the rank holding block s).
+      std::vector<comm::RankPart> parts(static_cast<std::size_t>(groups_));
+      for (int j = 0; j < groups_; ++j) {
+        const int rank = g * groups_ + j;
+        const auto rr = static_cast<std::size_t>(rank);
+        auto& part = parts[static_cast<std::size_t>(j)];
+        part.buffer = j == s ? io.input[rr] : io.bc[rr];
+        if (j == s) {
+          if (!io.input_ready.empty() && io.input_ready[rr].valid()) {
+            part.waits.push_back(io.input_ready[rr]);
+          }
+        } else if (last_spmm[rr].valid()) {
+          // Single broadcast buffer per rank: wait for its last reader.
+          part.waits.push_back(last_spmm[rr]);
+        }
+      }
+      const auto count =
+          static_cast<std::size_t>(partition_.size(s) * io.d);
+      std::vector<sim::Event> bcast =
+          group_comms_[static_cast<std::size_t>(g)]->broadcast(
+              std::move(parts), count, s, comm::StreamChoice::kComm, s);
+
+      // Local partial accumulation on every rank of group g.
+      for (int j = 0; j < groups_; ++j) {
+        const int rank = g * groups_ + j;
+        const auto rr = static_cast<std::size_t>(rank);
+        const sparse::Csr& tile =
+            tiles_[rr][static_cast<std::size_t>(t)];
+
+        sim::TaskDesc task;
+        task.label = "spmm_15d";
+        task.kind = sim::TaskKind::kSpMM;
+        task.stage = s;
+        task.cost = sparse::spmm_cost(tile, io.d);
+        task.waits.push_back(bcast[static_cast<std::size_t>(j)]);
+
+        sim::DeviceBuffer* src = j == s ? io.input[rr] : io.bc[rr];
+        float* in = src->data();
+        float* out = io.output[rr]->data();
+        const std::int64_t d = io.d;
+        const float beta = t == 0 ? 0.0f : 1.0f;
+        task.body = [&tile, in, out, d, beta] {
+          sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                       dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+        };
+        last_spmm[rr] =
+            machine_.device(rank).compute_stream().enqueue(std::move(task));
+      }
+    }
+  }
+
+  // Cross-group reduction of the partial C^j blocks (the 2-link step on
+  // DGX-1 that §5.1's analysis hinges on).
+  Result result;
+  result.done.resize(np);
+  for (int j = 0; j < groups_; ++j) {
+    std::vector<comm::RankPart> parts(2);
+    for (int g = 0; g < kReplication; ++g) {
+      const auto rr = static_cast<std::size_t>(g * groups_ + j);
+      parts[static_cast<std::size_t>(g)].buffer = io.output[rr];
+      if (last_spmm[rr].valid()) {
+        parts[static_cast<std::size_t>(g)].waits.push_back(last_spmm[rr]);
+      }
+    }
+    std::vector<sim::Event> reduced =
+        pair_comms_[static_cast<std::size_t>(j)]->allreduce_sum(
+            std::move(parts),
+            static_cast<std::size_t>(partition_.size(j) * io.d));
+    for (int g = 0; g < kReplication; ++g) {
+      result.done[static_cast<std::size_t>(g * groups_ + j)] =
+          reduced[static_cast<std::size_t>(g)];
+    }
+  }
+  return result;
+}
+
+}  // namespace mggcn::core

@@ -1,0 +1,84 @@
+// 1.5D distributed SpMM with replication factor c = 2 — the alternative
+// algorithm §5.1 analyzes (and rejects) for MG-GCN.
+//
+// Layout for P ranks, c = 2, G = P/c row blocks:
+//   - rank r = g*G + j belongs to replica group g ∈ {0, 1} and holds a
+//     copy of the dense block H^j  (H is replicated c times -> 2x memory);
+//   - the adjacency tile A^{js} lives only on rank (s mod c, j): each
+//     group covers the stages congruent to its id, so the G stages run in
+//     G/c rounds with both groups broadcasting concurrently;
+//   - a final reduction combines the two partial C^j blocks across the
+//     paired ranks (0, j) and (1, j) — on DGX-1's cube mesh that pair has
+//     only 2 links, which is exactly why §5.1 finds 1.5D slower there.
+//
+// bench_ablation_15d measures this implementation against the 1D DistSpmm
+// and against §5.1's closed-form prediction (2/3x on DGX-1, 4/3x on
+// DGX-A100, 2x memory).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/partition.hpp"
+#include "sim/machine.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::core {
+
+class DistSpmm15D {
+ public:
+  static constexpr int kReplication = 2;  // c
+
+  /// `op` is the full (already normalized/transposed) operator; the
+  /// machine must have an even device count >= 4.
+  DistSpmm15D(sim::Machine& machine, const sparse::Csr& op);
+  ~DistSpmm15D();
+
+  DistSpmm15D(const DistSpmm15D&) = delete;
+  DistSpmm15D& operator=(const DistSpmm15D&) = delete;
+
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] const PartitionVector& partition() const { return partition_; }
+  /// The row block held by a rank (its index within its group).
+  [[nodiscard]] int block_of(int rank) const { return rank % groups_; }
+  [[nodiscard]] int group_of(int rank) const { return rank / groups_; }
+
+  struct Io {
+    /// Per-rank dense blocks: rank r supplies H^{block_of(r)}
+    /// (size(block) x d) — the replicated input.
+    std::vector<sim::DeviceBuffer*> input;
+    /// Per-rank partial outputs (size(block) x d). After run(), the ranks
+    /// of group 0 hold the final C blocks (the reduction is an allreduce,
+    /// so group 1's copies match).
+    std::vector<sim::DeviceBuffer*> output;
+    /// Per-rank broadcast buffer (max_part x d).
+    std::vector<sim::DeviceBuffer*> bc;
+    std::int64_t d = 0;
+    std::vector<sim::Event> input_ready;
+  };
+
+  struct Result {
+    /// Per-rank completion of the (reduced) output block.
+    std::vector<sim::Event> done;
+  };
+
+  Result run(const Io& io);
+
+  /// Registers tile footprints with the owning devices.
+  void account_memory();
+
+ private:
+  sim::Machine& machine_;
+  int groups_ = 0;
+  PartitionVector partition_;
+  /// tiles_[rank] = the A^{j,s} tiles this rank multiplies, keyed by its
+  /// local round index t (stage s = t * c + group_of(rank)).
+  std::vector<std::vector<sparse::Csr>> tiles_;
+  std::vector<std::unique_ptr<comm::Communicator>> group_comms_;  // per group
+  std::vector<std::unique_ptr<comm::Communicator>> pair_comms_;   // per block
+  bool memory_accounted_ = false;
+};
+
+}  // namespace mggcn::core

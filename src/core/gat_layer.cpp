@@ -1,0 +1,87 @@
+#include "core/gat_layer.hpp"
+
+#include <cmath>
+
+#include "dense/kernels.hpp"
+#include "sparse/sddmm.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+GraphAttentionLayer::GraphAttentionLayer(const sparse::Csr& adjacency,
+                                         std::int64_t d_in,
+                                         std::int64_t d_out,
+                                         AttentionKind kind,
+                                         std::uint64_t seed)
+    : adjacency_(adjacency),
+      d_in_(d_in),
+      d_out_(d_out),
+      kind_(kind),
+      w_(d_in, d_out),
+      a_src_(1, d_out),
+      a_dst_(1, d_out) {
+  MGGCN_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                  "GAT needs a square adjacency");
+  util::Rng rng(seed);
+  w_.init_glorot(rng);
+  a_src_.init_gaussian(rng, 0.0, 1.0 / std::sqrt(static_cast<double>(d_out)));
+  a_dst_.init_gaussian(rng, 0.0, 1.0 / std::sqrt(static_cast<double>(d_out)));
+}
+
+dense::HostMatrix GraphAttentionLayer::forward(
+    dense::ConstMatrixView x) const {
+  const std::int64_t n = adjacency_.rows();
+  MGGCN_CHECK(x.rows == n && x.cols == d_in_);
+
+  // Z = X W.
+  dense::HostMatrix z(n, d_out_);
+  dense::gemm(x, w_.view(), z.view());
+
+  // Edge scores.
+  sparse::Csr scores = adjacency_;
+  if (kind_ == AttentionKind::kDotProduct) {
+    scores = sparse::sddmm(scores, z.view(), z.view());
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(d_out_));
+    for (auto& value : scores.values_mutable()) value *= inv_sqrt_d;
+  } else {
+    // Additive GATv1: e(u, v) = s_u + t_v with per-vertex projections —
+    // a rank-1 SDDMM.
+    std::vector<float> s(static_cast<std::size_t>(n), 0.0f);
+    std::vector<float> t(static_cast<std::size_t>(n), 0.0f);
+    for (std::int64_t vtx = 0; vtx < n; ++vtx) {
+      const float* row = z.view().row(vtx);
+      float su = 0.0f, tu = 0.0f;
+      for (std::int64_t j = 0; j < d_out_; ++j) {
+        su += a_src_.at(0, j) * row[j];
+        tu += a_dst_.at(0, j) * row[j];
+      }
+      s[static_cast<std::size_t>(vtx)] = su;
+      t[static_cast<std::size_t>(vtx)] = tu;
+    }
+    const auto row_ptr = scores.row_ptr();
+    const auto col_idx = scores.col_idx();
+    auto values = scores.values_mutable();
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (std::int64_t e = row_ptr[static_cast<std::size_t>(u)];
+           e < row_ptr[static_cast<std::size_t>(u) + 1]; ++e) {
+        values[static_cast<std::size_t>(e)] =
+            s[static_cast<std::size_t>(u)] +
+            t[col_idx[static_cast<std::size_t>(e)]];
+      }
+    }
+    sparse::leaky_relu_values(scores);
+  }
+
+  // Normalize per destination: transpose, softmax rows, apply as SpMM.
+  attention_ = scores.transpose();
+  sparse::edge_softmax(attention_);
+
+  dense::HostMatrix out(n, d_out_);
+  sparse::spmm(attention_, z.view(), out.view());
+  dense::relu_forward(out.data(), out.data(), out.size());
+  return out;
+}
+
+}  // namespace mggcn::core

@@ -1,0 +1,63 @@
+// Graph Attention layer (forward prototype) — the model family the paper's
+// future work targets via the SDDMM kernel (§7).
+//
+// Single-head GAT (Veličković et al.): with Z = X W,
+//     e(u, v)   = LeakyReLU(a_src · Z_u + a_dst · Z_v)   for every edge
+//     alpha     = edge_softmax(e)                          per destination
+//     H'        = alpha^T Z  (an SpMM with the attention operator)
+// plus an optional dot-product variant e(u, v) = <Z_u, Z_v> / sqrt(d)
+// computed with the generic SDDMM.
+//
+// This is a single-device forward implementation: it demonstrates that the
+// substrate's kernels (GeMM, SDDMM, edge softmax, SpMM) compose into the
+// model, and its cost accessors plug into the simulated machine. The
+// distributed/backward path is intentionally out of scope — exactly where
+// the paper leaves it.
+#pragma once
+
+#include <cstdint>
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::core {
+
+enum class AttentionKind {
+  kAdditive,    ///< GATv1 a_src/a_dst decomposition
+  kDotProduct,  ///< transformer-style scaled dot product (uses SDDMM)
+};
+
+class GraphAttentionLayer {
+ public:
+  /// `adjacency`: the (un-normalized) symmetric adjacency; attention
+  /// replaces the fixed GCN normalization.
+  GraphAttentionLayer(const sparse::Csr& adjacency, std::int64_t d_in,
+                      std::int64_t d_out, AttentionKind kind,
+                      std::uint64_t seed);
+
+  /// Forward pass over the full graph; x is (n x d_in).
+  [[nodiscard]] dense::HostMatrix forward(dense::ConstMatrixView x) const;
+
+  /// The attention operator produced by the last forward() (row-stochastic
+  /// after transposition onto destinations).
+  [[nodiscard]] const sparse::Csr& last_attention() const {
+    return attention_;
+  }
+
+  [[nodiscard]] const dense::HostMatrix& weights() const { return w_; }
+  [[nodiscard]] AttentionKind kind() const { return kind_; }
+
+ private:
+  const sparse::Csr& adjacency_;
+  std::int64_t d_in_;
+  std::int64_t d_out_;
+  AttentionKind kind_;
+
+  dense::HostMatrix w_;       // d_in x d_out
+  dense::HostMatrix a_src_;   // 1 x d_out (additive attention)
+  dense::HostMatrix a_dst_;   // 1 x d_out
+  mutable sparse::Csr attention_;
+};
+
+}  // namespace mggcn::core

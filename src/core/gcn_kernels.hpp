@@ -1,0 +1,44 @@
+// GCN-specific host kernels: fused softmax cross-entropy (loss + gradient),
+// accuracy counting, and the Adam update — with their cost descriptors.
+#pragma once
+
+#include <cstdint>
+
+#include "dense/matrix.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mggcn::core {
+
+/// Fused softmax + cross-entropy over the masked rows of `logits`
+/// (n x classes). Writes the gradient w.r.t. the logits IN PLACE into
+/// `logits` (the paper's in-buffer loss layer), scaled by 1 / total_train.
+/// Unmasked rows get zero gradient. Returns {sum loss, #correct} over the
+/// masked rows.
+struct LossResult {
+  double loss_sum = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t counted = 0;
+};
+
+LossResult softmax_cross_entropy_inplace(dense::MatrixView logits,
+                                         const std::int32_t* labels,
+                                         const std::uint8_t* mask,
+                                         std::int64_t total_train);
+
+/// Argmax-accuracy over masked rows, without touching the logits.
+LossResult evaluate_accuracy(dense::ConstMatrixView logits,
+                             const std::int32_t* labels,
+                             const std::uint8_t* mask);
+
+/// One Adam step over `n` parameters: updates weights, m, and v in place.
+void adam_update(float* weights, const float* gradient, float* m, float* v,
+                 std::int64_t n, int step, double learning_rate, double beta1,
+                 double beta2, double epsilon);
+
+/// Cost of the fused loss layer on n x classes logits.
+[[nodiscard]] sim::KernelCost loss_cost(std::int64_t n, std::int64_t classes);
+
+/// Cost of an Adam step on n parameters (reads w, g, m, v; writes w, m, v).
+[[nodiscard]] sim::KernelCost adam_cost(std::int64_t n);
+
+}  // namespace mggcn::core

@@ -1,0 +1,31 @@
+// Per-epoch training metrics: loss/accuracy (real mode) plus the simulated
+// timing breakdown the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/trace.hpp"
+
+namespace mggcn::core {
+
+struct EpochStats {
+  int epoch = 0;
+
+  // Valid in real execution mode only.
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+
+  /// Simulated wall-clock of the epoch (max over devices).
+  double sim_seconds = 0.0;
+
+  /// Simulated busy seconds per operation kind, summed over devices
+  /// (Fig. 5's Activation / Adam / GeMM / Loss-Layer / SpMM split; SpMM
+  /// includes the broadcast wait the paper attributes to it).
+  std::map<sim::TaskKind, double> busy_by_kind;
+
+  /// Peak device memory over ranks at the end of the epoch.
+  std::uint64_t peak_memory_bytes = 0;
+};
+
+}  // namespace mggcn::core

@@ -1,0 +1,113 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+PartitionVector::PartitionVector(std::vector<std::int64_t> offsets)
+    : offsets_(std::move(offsets)) {
+  MGGCN_CHECK_MSG(offsets_.size() >= 2, "partition vector needs >= 1 part");
+  MGGCN_CHECK_MSG(offsets_.front() == 0, "partition must start at 0");
+  MGGCN_CHECK_MSG(std::is_sorted(offsets_.begin(), offsets_.end()),
+                  "partition offsets must be monotone");
+}
+
+PartitionVector PartitionVector::uniform(std::int64_t n, int parts) {
+  MGGCN_CHECK(n >= 0 && parts >= 1);
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(parts) + 1);
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  offsets[0] = 0;
+  for (int i = 0; i < parts; ++i) {
+    offsets[static_cast<std::size_t>(i) + 1] =
+        offsets[static_cast<std::size_t>(i)] + base + (i < extra ? 1 : 0);
+  }
+  return PartitionVector(std::move(offsets));
+}
+
+PartitionVector PartitionVector::balanced_nnz(const sparse::Csr& matrix,
+                                              int parts) {
+  MGGCN_CHECK(parts >= 1);
+  const std::int64_t n = matrix.rows();
+  const auto row_ptr = matrix.row_ptr();
+  const double total = static_cast<double>(matrix.nnz());
+
+  std::vector<std::int64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(parts) + 1);
+  offsets.push_back(0);
+  std::int64_t row = 0;
+  for (int part = 1; part < parts; ++part) {
+    const double target = total * part / parts;
+    while (row < n &&
+           static_cast<double>(row_ptr[static_cast<std::size_t>(row) + 1]) <
+               target) {
+      ++row;
+    }
+    // Keep at least one row available for each remaining part.
+    row = std::min(row, n - (parts - part));
+    row = std::max(row, offsets.back());
+    offsets.push_back(row);
+  }
+  offsets.push_back(n);
+  return PartitionVector(std::move(offsets));
+}
+
+std::int64_t PartitionVector::max_part_size() const {
+  std::int64_t m = 0;
+  for (int i = 0; i < parts(); ++i) m = std::max(m, size(i));
+  return m;
+}
+
+int PartitionVector::part_of(std::int64_t v) const {
+  MGGCN_CHECK(v >= 0 && v < total());
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), v);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+std::int64_t TileGrid::row_nnz(int i) const {
+  std::int64_t total = 0;
+  for (const auto& t : tiles[static_cast<std::size_t>(i)]) total += t.nnz();
+  return total;
+}
+
+double TileGrid::imbalance() const {
+  std::int64_t total = 0;
+  std::int64_t worst = 0;
+  for (int i = 0; i < parts(); ++i) {
+    const std::int64_t r = row_nnz(i);
+    total += r;
+    worst = std::max(worst, r);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / parts();
+  return static_cast<double>(worst) / mean;
+}
+
+TileGrid make_tile_grid(const sparse::Csr& matrix,
+                        const PartitionVector& partition) {
+  MGGCN_CHECK_MSG(matrix.rows() == matrix.cols(),
+                  "symmetric tiling needs a square matrix");
+  MGGCN_CHECK_MSG(matrix.rows() == partition.total(),
+                  "partition must cover the matrix");
+
+  TileGrid grid;
+  grid.partition = partition;
+  const int parts = partition.parts();
+  grid.tiles.resize(static_cast<std::size_t>(parts));
+  for (int i = 0; i < parts; ++i) {
+    auto& row = grid.tiles[static_cast<std::size_t>(i)];
+    row.reserve(static_cast<std::size_t>(parts));
+    // Slice the row block once, then cut columns out of it.
+    const sparse::Csr row_block = matrix.tile(
+        partition.begin(i), partition.end(i), 0, matrix.cols());
+    for (int j = 0; j < parts; ++j) {
+      row.push_back(row_block.tile(0, row_block.rows(), partition.begin(j),
+                                   partition.end(j)));
+    }
+  }
+  return grid;
+}
+
+}  // namespace mggcn::core

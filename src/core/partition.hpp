@@ -1,0 +1,80 @@
+// 1D partition vectors (eqs. (13)-(15) of the paper) and the symmetric
+// row/column tiling of the adjacency matrix used by MG-GCN's distributed
+// SpMM (§4.1, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mggcn::core {
+
+/// A partition vector p with P parts: monotone offsets
+/// 0 = p(0) <= ... <= p(P) = n.
+class PartitionVector {
+ public:
+  PartitionVector() = default;
+  explicit PartitionVector(std::vector<std::int64_t> offsets);
+
+  /// Uniform partition of [0, n) into `parts` parts (sizes differ by at
+  /// most one) — MG-GCN partitions uniformly and relies on the random
+  /// permutation for balance (§5.2).
+  static PartitionVector uniform(std::int64_t n, int parts);
+
+  /// Alternative to §5.2's permutation: keep the vertex order but choose
+  /// the cut points so each part holds ~nnz/P nonzeros (greedy prefix
+  /// scan over row degrees). Balances the *row* nnz exactly, but — unlike
+  /// the permutation — cannot fix the per-tile (column) imbalance of a
+  /// community-ordered matrix, and makes the broadcast blocks uneven.
+  /// bench_ablation_optimizations compares the two.
+  static PartitionVector balanced_nnz(const sparse::Csr& matrix, int parts);
+
+  [[nodiscard]] int parts() const {
+    return static_cast<int>(offsets_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t total() const { return offsets_.back(); }
+  [[nodiscard]] std::int64_t begin(int part) const {
+    return offsets_[static_cast<std::size_t>(part)];
+  }
+  [[nodiscard]] std::int64_t end(int part) const {
+    return offsets_[static_cast<std::size_t>(part) + 1];
+  }
+  [[nodiscard]] std::int64_t size(int part) const {
+    return end(part) - begin(part);
+  }
+  [[nodiscard]] std::int64_t max_part_size() const;
+  [[nodiscard]] std::span<const std::int64_t> offsets() const {
+    return offsets_;
+  }
+
+  /// The part containing global index v.
+  [[nodiscard]] int part_of(std::int64_t v) const;
+
+ private:
+  std::vector<std::int64_t> offsets_ = {0};
+};
+
+/// The (i, j) tile grid of a square matrix under symmetric partitioning
+/// p = q: tiles[i][j] = A^{ij} with local indices.
+struct TileGrid {
+  PartitionVector partition;
+  std::vector<std::vector<sparse::Csr>> tiles;  // [row_part][col_part]
+
+  [[nodiscard]] int parts() const { return partition.parts(); }
+  [[nodiscard]] const sparse::Csr& tile(int i, int j) const {
+    return tiles[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+
+  /// Nonzeros of tile row i (the work assigned to GPU i).
+  [[nodiscard]] std::int64_t row_nnz(int i) const;
+  /// max_i row_nnz / mean row_nnz: the load-imbalance ratio Fig. 6 is about.
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Cuts `matrix` into parts x parts tiles with the symmetric partition.
+TileGrid make_tile_grid(const sparse::Csr& matrix,
+                        const PartitionVector& partition);
+
+}  // namespace mggcn::core

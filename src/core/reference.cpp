@@ -1,0 +1,121 @@
+#include "core/reference.hpp"
+
+#include "core/gcn_kernels.hpp"
+#include "core/trainer.hpp"
+#include "dense/kernels.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+ReferenceTrainer::ReferenceTrainer(const graph::Dataset& dataset,
+                                   TrainConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  MGGCN_CHECK_MSG(dataset.has_features(),
+                  "reference trainer needs a real-feature dataset");
+  dims_ = layer_dims(dataset, config_);
+  a_hat_ = dataset.adjacency.normalize_gcn();
+  a_hat_t_ = a_hat_.transpose();
+  weights_ = init_weights(dims_, config_.seed);
+  for (const auto& w : weights_) {
+    adam_m_.emplace_back(w.rows(), w.cols());
+    adam_v_.emplace_back(w.rows(), w.cols());
+  }
+  for (const auto m : dataset.train_mask) total_train_ += m;
+  MGGCN_CHECK(total_train_ > 0);
+}
+
+dense::HostMatrix ReferenceTrainer::forward() const {
+  const std::int64_t n = dataset_.n();
+  dense::HostMatrix h = dataset_.features;  // copy of X
+  for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+    const std::int64_t d_out = dims_[l + 1];
+    dense::HostMatrix hw(n, d_out);
+    dense::gemm(h.view(), weights_[l].view(), hw.view());
+    dense::HostMatrix out(n, d_out);
+    sparse::spmm(a_hat_t_, hw.view(), out.view());
+    if (l + 2 < dims_.size()) {
+      dense::relu_forward(out.data(), out.data(), out.size());
+    }
+    h = std::move(out);
+  }
+  return h;
+}
+
+ReferenceTrainer::EpochResult ReferenceTrainer::train_epoch() {
+  const std::int64_t n = dataset_.n();
+  const std::size_t layers = dims_.size() - 1;
+
+  // Forward pass keeping the post-activation of every layer (the reference
+  // trainer is deliberately unoptimized: per-op allocations, like the
+  // frameworks the paper compares against).
+  std::vector<dense::HostMatrix> activations;  // act[l] = output of layer l
+  activations.reserve(layers);
+  const dense::HostMatrix* input = &dataset_.features;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::int64_t d_out = dims_[l + 1];
+    dense::HostMatrix hw(n, d_out);
+    dense::gemm(input->view(), weights_[l].view(), hw.view());
+    dense::HostMatrix out(n, d_out);
+    sparse::spmm(a_hat_t_, hw.view(), out.view());
+    if (l + 1 < layers) {
+      dense::relu_forward(out.data(), out.data(), out.size());
+    }
+    activations.push_back(std::move(out));
+    input = &activations.back();
+  }
+
+  // Loss + gradient (in place on the logits, like the device pipeline).
+  EpochResult result;
+  dense::HostMatrix& logits = activations.back();
+  const LossResult loss = softmax_cross_entropy_inplace(
+      logits.view(), dataset_.labels.data(), dataset_.train_mask.data(),
+      total_train_);
+  result.loss = loss.loss_sum;
+  result.train_accuracy =
+      loss.counted > 0 ? static_cast<double>(loss.correct) / loss.counted
+                       : 0.0;
+
+  // Backward pass.
+  ++adam_step_;
+  dense::HostMatrix grad = std::move(activations.back());  // dL/dO_{L-1}
+  for (std::size_t l = layers; l-- > 0;) {
+    const std::int64_t d_in = dims_[l];
+    const std::int64_t d_out = dims_[l + 1];
+    const dense::HostMatrix& x =
+        l == 0 ? dataset_.features : activations[l - 1];
+
+    if (l + 1 < layers) {
+      // ReLU mask from this layer's stored activation.
+      dense::relu_backward(grad.data(), activations[l].data(), grad.data(),
+                           grad.size());
+    }
+
+    const bool skip = l == 0 && config_.skip_first_backward_spmm &&
+                      !config_.input_grad_needed;
+    dense::HostMatrix z;
+    if (!skip) {
+      z = dense::HostMatrix(n, d_out);
+      sparse::spmm(a_hat_, grad.view(), z.view());
+    } else {
+      z = std::move(grad);
+    }
+
+    dense::HostMatrix w_grad(d_in, d_out);
+    dense::gemm_at_b(x.view(), z.view(), w_grad.view());
+
+    if (!skip && l > 0) {
+      dense::HostMatrix next_grad(n, d_in);
+      dense::gemm_a_bt(z.view(), weights_[l].view(), next_grad.view());
+      grad = std::move(next_grad);
+    }
+
+    adam_update(weights_[l].data(), w_grad.data(), adam_m_[l].data(),
+                adam_v_[l].data(), w_grad.size(), adam_step_,
+                config_.learning_rate, config_.beta1, config_.beta2,
+                config_.epsilon);
+  }
+  return result;
+}
+
+}  // namespace mggcn::core

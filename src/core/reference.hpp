@@ -1,0 +1,52 @@
+// Serial single-address-space reference GCN trainer.
+//
+// Implements eqs. (2)-(11) directly on host matrices with no partitioning,
+// streams, or buffer reuse. It is the "golden model" the distributed
+// trainer's tests compare against — the same role DGL's accuracy curve plays
+// in the paper's validation (§6). It honours the same optional §4.4
+// first-layer-skip flag so both trainers compute the same gradients.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "dense/matrix.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::core {
+
+class ReferenceTrainer {
+ public:
+  ReferenceTrainer(const graph::Dataset& dataset, TrainConfig config);
+
+  struct EpochResult {
+    double loss = 0.0;
+    double train_accuracy = 0.0;
+  };
+
+  /// One full-batch epoch; returns train loss/accuracy.
+  EpochResult train_epoch();
+
+  /// Forward pass only; returns logits (n x classes).
+  [[nodiscard]] dense::HostMatrix forward() const;
+
+  [[nodiscard]] const std::vector<dense::HostMatrix>& weights() const {
+    return weights_;
+  }
+
+ private:
+  const graph::Dataset& dataset_;
+  TrainConfig config_;
+  std::vector<std::int64_t> dims_;
+
+  sparse::Csr a_hat_;    // Â
+  sparse::Csr a_hat_t_;  // Â^T
+
+  std::vector<dense::HostMatrix> weights_;
+  std::vector<dense::HostMatrix> adam_m_, adam_v_;
+  int adam_step_ = 0;
+  std::int64_t total_train_ = 0;
+};
+
+}  // namespace mggcn::core

@@ -1,0 +1,674 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/gcn_kernels.hpp"
+#include "dense/kernels.hpp"
+#include "sparse/spmm.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace mggcn::core {
+
+std::vector<dense::HostMatrix> init_weights(
+    const std::vector<std::int64_t>& dims, std::uint64_t seed) {
+  MGGCN_CHECK(dims.size() >= 2);
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  std::vector<dense::HostMatrix> weights;
+  weights.reserve(dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    dense::HostMatrix w(dims[l], dims[l + 1]);
+    w.init_glorot(rng);
+    weights.push_back(std::move(w));
+  }
+  return weights;
+}
+
+std::vector<std::int64_t> layer_dims(const graph::Dataset& dataset,
+                                     const TrainConfig& config) {
+  std::vector<std::int64_t> dims;
+  dims.push_back(dataset.spec.feature_dim);
+  for (const auto h : config.hidden_dims) dims.push_back(h);
+  dims.push_back(dataset.spec.num_classes);
+  return dims;
+}
+
+std::uint64_t replicated_state_bytes(const std::vector<std::int64_t>& dims) {
+  std::uint64_t params = 0;
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    params += static_cast<std::uint64_t>(dims[l] * dims[l + 1]);
+  }
+  return 4 * params * sizeof(float);  // w, w_grad, adam m, adam v
+}
+
+MgGcnTrainer::MgGcnTrainer(sim::Machine& machine,
+                           const graph::Dataset& dataset, TrainConfig config)
+    : machine_(machine), config_(std::move(config)) {
+  dims_ = layer_dims(dataset, config_);
+  build_plan();
+
+  // Overlapping steals HBM bandwidth from SpMM (the paper's ~1/6 on V100)
+  // and slightly slows the broadcasts themselves (§6.3, Fig. 8).
+  const double comm_bw =
+      machine_.profile().interconnect.collective_bandwidth();
+  const double mem_bw = machine_.profile().device.memory_bandwidth;
+  const bool overlapping = config_.overlap && machine_.num_devices() > 1;
+  compute_bandwidth_scale_ =
+      overlapping ? std::max(0.5, 1.0 - comm_bw / mem_bw) : 1.0;
+  comm::CommOptions comm_options;
+  comm_options.duration_scale =
+      (overlapping ? 1.10 : 1.0) / std::max(config_.comm_efficiency, 1e-3);
+  comm_ = std::make_unique<comm::Communicator>(machine_, comm_options);
+
+  util::WallTimer timer;
+  preprocess(dataset);
+  preprocessing_seconds_ = timer.elapsed_seconds();
+
+  allocate_buffers();
+  upload_inputs(dataset);
+}
+
+MgGcnTrainer::~MgGcnTrainer() { machine_.synchronize(); }
+
+void MgGcnTrainer::build_plan() {
+  const int layers = num_layers();
+  plan_.clear();
+  for (int l = 0; l < layers; ++l) {
+    LayerPlan plan;
+    plan.d_in = dims_[static_cast<std::size_t>(l)];
+    plan.d_out = dims_[static_cast<std::size_t>(l) + 1];
+    // §4.4: if d(l) < d(l+1), SpMM on the narrow side first is cheaper.
+    plan.spmm_first = config_.reorder_gemm_spmm
+                          ? plan.d_in < plan.d_out
+                          : config_.spmm_first_when_no_reorder;
+    plan.has_relu = l + 1 < layers;
+    const bool autograd_skip =
+        config_.autograd_aggregation_reuse && plan.spmm_first;
+    plan.skip_backward_spmm =
+        l == 0 && !config_.input_grad_needed &&
+        (config_.skip_first_backward_spmm || autograd_skip);
+    plan_.push_back(plan);
+  }
+}
+
+void MgGcnTrainer::preprocess(const graph::Dataset& dataset) {
+  const std::int64_t n = dataset.n();
+  const int p = machine_.num_devices();
+
+  // §5.2: random vertex permutation for nnz balance (identity otherwise).
+  util::Rng rng(config_.seed ^ 0xabcdef12345ULL);
+  if (config_.permute) {
+    perm_ = rng.permutation<std::uint32_t>(static_cast<std::size_t>(n));
+  } else {
+    perm_.resize(static_cast<std::size_t>(n));
+    std::iota(perm_.begin(), perm_.end(), 0u);
+  }
+
+  sparse::Csr adj = config_.permute
+                        ? dataset.adjacency.permute_symmetric(perm_)
+                        : dataset.adjacency;
+  partition_ = config_.partition_strategy == PartitionStrategy::kBalancedNnz
+                   ? PartitionVector::balanced_nnz(adj, p)
+                   : PartitionVector::uniform(n, p);
+  const sparse::Csr a_hat = adj.normalize_gcn();       // Â (eq. (2))
+  const sparse::Csr a_hat_t = a_hat.transpose();       // Â^T (forward op)
+
+  forward_spmm_ = std::make_unique<DistSpmm>(
+      machine_, *comm_, make_tile_grid(a_hat_t, partition_));
+  backward_spmm_ = std::make_unique<DistSpmm>(
+      machine_, *comm_, make_tile_grid(a_hat, partition_));
+  forward_spmm_->account_memory();
+  backward_spmm_->account_memory();
+}
+
+void MgGcnTrainer::allocate_buffers() {
+  const int p = machine_.num_devices();
+  const int layers = num_layers();
+
+  // Shared-buffer width: the widest dimension that actually flows through
+  // HW / BC1 / BC2. Forward, HW holds the GeMM result (d_out) unless the
+  // Â§4.4 order switch runs SpMM first (then d_in); backward, HW holds
+  // Z = Ã G' (d_out) unless that layer's backward SpMM is skipped. Getting
+  // this tight is what lets MG-GCN fit e.g. Proteins into 4 GPUs (Fig. 10).
+  std::int64_t shared_dim = 0;
+  for (const auto& plan : plan_) {
+    const std::int64_t fwd_dim = plan.spmm_first ? plan.d_in : plan.d_out;
+    shared_dim = std::max(shared_dim, fwd_dim);
+    if (!plan.skip_backward_spmm) shared_dim = std::max(shared_dim, plan.d_out);
+  }
+  const std::int64_t max_part = partition_.max_part_size();
+  const bool need_bc2 = config_.overlap && p > 1;
+
+  ranks_.clear();
+  ranks_.resize(static_cast<std::size_t>(p));
+  bc_slot_readers_.assign(static_cast<std::size_t>(p), {});
+  for (int r = 0; r < p; ++r) {
+    auto& rank = ranks_[static_cast<std::size_t>(r)];
+    sim::Device& device = machine_.device(r);
+    const std::int64_t n_r = partition_.size(r);
+
+    rank.x = sim::DeviceBuffer(
+        device, static_cast<std::size_t>(n_r * dims_.front()), "X");
+    rank.outputs.reserve(static_cast<std::size_t>(layers));
+    for (int l = 0; l < layers; ++l) {
+      rank.outputs.emplace_back(
+          device,
+          static_cast<std::size_t>(n_r * plan_[static_cast<std::size_t>(l)].d_out),
+          "O" + std::to_string(l));
+    }
+    rank.hw = sim::DeviceBuffer(
+        device, static_cast<std::size_t>(n_r * shared_dim), "HW");
+    if (!config_.reuse_buffers) {
+      // Eager-framework emulation (§4.2's comparison point): a saved
+      // pre-activation and a gradient buffer per layer, never reused —
+      // raising the per-layer memory slope from 1 to 3 (Fig. 12).
+      for (int l = 0; l < layers; ++l) {
+        const std::int64_t d_out = plan_[static_cast<std::size_t>(l)].d_out;
+        rank.ballast.emplace_back(device,
+                                  static_cast<std::size_t>(n_r * d_out),
+                                  "preact" + std::to_string(l));
+        rank.ballast.emplace_back(device,
+                                  static_cast<std::size_t>(n_r * d_out),
+                                  "grad" + std::to_string(l));
+      }
+    }
+    if (p > 1) {
+      rank.bc1 = sim::DeviceBuffer(
+          device, static_cast<std::size_t>(max_part * shared_dim), "BC1");
+      if (need_bc2) {
+        rank.bc2 = sim::DeviceBuffer(
+            device, static_cast<std::size_t>(max_part * shared_dim), "BC2");
+      }
+    }
+
+    for (int l = 0; l < layers; ++l) {
+      const auto& plan = plan_[static_cast<std::size_t>(l)];
+      const auto wsize = static_cast<std::size_t>(plan.d_in * plan.d_out);
+      rank.w.emplace_back(device, wsize, "W" + std::to_string(l));
+      rank.w_grad.emplace_back(device, wsize, "Wg" + std::to_string(l));
+      rank.adam_m.emplace_back(device, wsize, "m" + std::to_string(l));
+      rank.adam_v.emplace_back(device, wsize, "v" + std::to_string(l));
+    }
+  }
+}
+
+void MgGcnTrainer::upload_inputs(const graph::Dataset& dataset) {
+  const int p = machine_.num_devices();
+  const auto weights = init_weights(dims_, config_.seed);
+  const std::int64_t n = dataset.n();
+
+  // Scatter permuted feature rows, labels, and masks to their owner ranks.
+  for (int r = 0; r < p; ++r) {
+    auto& rank = ranks_[static_cast<std::size_t>(r)];
+    const std::int64_t begin = partition_.begin(r);
+    const std::int64_t n_r = partition_.size(r);
+    rank.labels.assign(static_cast<std::size_t>(n_r), 0);
+    rank.train_mask.assign(static_cast<std::size_t>(n_r), 0);
+
+    for (int l = 0; l < num_layers(); ++l) {
+      auto span = rank.w[static_cast<std::size_t>(l)].span();
+      if (!span.empty()) {
+        dense::copy(weights[static_cast<std::size_t>(l)].data(), span.data(),
+                    static_cast<std::int64_t>(span.size()));
+      }
+    }
+    (void)begin;
+  }
+
+  if (!dataset.has_features()) return;
+
+  total_train_ = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t g = perm_[static_cast<std::size_t>(v)];
+    const int owner = partition_.part_of(g);
+    auto& rank = ranks_[static_cast<std::size_t>(owner)];
+    const std::int64_t local = g - partition_.begin(owner);
+
+    rank.labels[static_cast<std::size_t>(local)] =
+        dataset.labels[static_cast<std::size_t>(v)];
+    const std::uint8_t in_train =
+        dataset.train_mask[static_cast<std::size_t>(v)];
+    rank.train_mask[static_cast<std::size_t>(local)] = in_train;
+    total_train_ += in_train;
+
+    auto x = rank.x.span();
+    if (!x.empty()) {
+      dense::copy(dataset.features.view().row(v),
+                  x.data() + local * dims_.front(), dims_.front());
+    }
+  }
+  MGGCN_CHECK_MSG(total_train_ > 0, "dataset has no training vertices");
+}
+
+sim::KernelCost MgGcnTrainer::with_overhead(sim::KernelCost cost) const {
+  cost.launches = static_cast<int>(
+      cost.launches * config_.kernel_overhead_multiplier + 0.5);
+  return cost;
+}
+
+std::vector<sim::DeviceBuffer*> MgGcnTrainer::buffers_of(
+    sim::DeviceBuffer RankState::* member) {
+  std::vector<sim::DeviceBuffer*> out;
+  out.reserve(ranks_.size());
+  for (auto& rank : ranks_) out.push_back(&(rank.*member));
+  return out;
+}
+
+std::vector<sim::DeviceBuffer*> MgGcnTrainer::layer_buffers(int layer) {
+  std::vector<sim::DeviceBuffer*> out;
+  out.reserve(ranks_.size());
+  for (auto& rank : ranks_) {
+    out.push_back(&rank.outputs[static_cast<std::size_t>(layer)]);
+  }
+  return out;
+}
+
+void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
+  const int p = machine_.num_devices();
+  const auto np = static_cast<std::size_t>(p);
+  const bool overlapping = config_.overlap && p > 1;
+
+  // Event per rank marking the availability of the current layer input.
+  std::vector<sim::Event> input_ready(np);  // invalid: already available
+
+  for (int l = 0; l < num_layers(); ++l) {
+    const auto& plan = plan_[static_cast<std::size_t>(l)];
+    std::vector<sim::DeviceBuffer*> layer_in =
+        l == 0 ? buffers_of(&RankState::x) : layer_buffers(l - 1);
+    std::vector<sim::DeviceBuffer*> layer_out = layer_buffers(l);
+    std::vector<sim::Event> next_ready(np);
+
+    if (!plan.spmm_first) {
+      // GeMM (HW = X_l * W_l), then distributed SpMM into O_l.
+      std::vector<sim::Event> hw_ready(np);
+      for (int r = 0; r < p; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        auto& rank = ranks_[rr];
+        const std::int64_t n_r = partition_.size(r);
+
+        sim::TaskDesc task;
+        task.label = "gemm_hw";
+        task.kind = sim::TaskKind::kGeMM;
+        task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_out, plan.d_in));
+        float* in = layer_in[rr]->data();
+        float* w = rank.w[static_cast<std::size_t>(l)].data();
+        float* hw = rank.hw.data();
+        task.body = [in, w, hw, n_r, plan] {
+          dense::gemm({in, n_r, plan.d_in}, {w, plan.d_in, plan.d_out},
+                      {hw, n_r, plan.d_out});
+        };
+        hw_ready[rr] =
+            machine_.device(r).compute_stream().enqueue(std::move(task));
+      }
+
+      DistSpmm::Io io;
+      io.input = buffers_of(&RankState::hw);
+      io.output = layer_out;
+      io.bc1 = buffers_of(&RankState::bc1);
+      io.bc2 = buffers_of(&RankState::bc2);
+      io.d = plan.d_out;
+      io.input_ready = hw_ready;
+      io.overlap = overlapping;
+      io.compute_bandwidth_scale = compute_bandwidth_scale_;
+      io.slot_readers = &bc_slot_readers_;
+      io.traffic_factor = config_.spmm_traffic_factor;
+      io.launch_multiplier = config_.kernel_overhead_multiplier;
+      DistSpmm::Result result = forward_spmm_->run(io);
+      for (int r = 0; r < p; ++r) {
+        machine_.device(r).compute_stream().wait_event(
+            result.input_released[static_cast<std::size_t>(r)]);
+      }
+      next_ready = result.done;
+    } else {
+      // Distributed SpMM on the narrow input (HW = Â^T X_l), then GeMM.
+      DistSpmm::Io io;
+      io.input = layer_in;
+      io.output = buffers_of(&RankState::hw);
+      io.bc1 = buffers_of(&RankState::bc1);
+      io.bc2 = buffers_of(&RankState::bc2);
+      io.d = plan.d_in;
+      io.input_ready = input_ready;
+      io.overlap = overlapping;
+      io.compute_bandwidth_scale = compute_bandwidth_scale_;
+      io.slot_readers = &bc_slot_readers_;
+      io.traffic_factor = config_.spmm_traffic_factor;
+      io.launch_multiplier = config_.kernel_overhead_multiplier;
+      DistSpmm::Result result = forward_spmm_->run(io);
+      for (int r = 0; r < p; ++r) {
+        machine_.device(r).compute_stream().wait_event(
+            result.input_released[static_cast<std::size_t>(r)]);
+      }
+
+      for (int r = 0; r < p; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        auto& rank = ranks_[rr];
+        const std::int64_t n_r = partition_.size(r);
+
+        sim::TaskDesc task;
+        task.label = "gemm_out";
+        task.kind = sim::TaskKind::kGeMM;
+        task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_out, plan.d_in));
+        float* hw = rank.hw.data();
+        float* w = rank.w[static_cast<std::size_t>(l)].data();
+        float* out = layer_out[rr]->data();
+        task.body = [hw, w, out, n_r, plan] {
+          dense::gemm({hw, n_r, plan.d_in}, {w, plan.d_in, plan.d_out},
+                      {out, n_r, plan.d_out});
+        };
+        next_ready[rr] =
+            machine_.device(r).compute_stream().enqueue(std::move(task));
+      }
+    }
+
+    if (plan.has_relu) {
+      for (int r = 0; r < p; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        const std::int64_t count = partition_.size(r) * plan.d_out;
+
+        sim::TaskDesc task;
+        task.label = "relu";
+        task.kind = sim::TaskKind::kActivation;
+        task.cost = with_overhead(dense::elementwise_cost(count, 1, 1));
+        float* out = layer_out[rr]->data();
+        task.body = [out, count] { dense::relu_forward(out, out, count); };
+        next_ready[rr] =
+            machine_.device(r).compute_stream().enqueue(std::move(task));
+      }
+    }
+    input_ready = std::move(next_ready);
+  }
+
+  if (logits_ready != nullptr) *logits_ready = std::move(input_ready);
+}
+
+std::vector<sim::Event> MgGcnTrainer::enqueue_loss(
+    const std::vector<sim::Event>& ready) {
+  const int p = machine_.num_devices();
+  const std::int64_t classes = dims_.back();
+  std::vector<sim::Event> events(static_cast<std::size_t>(p));
+
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    auto& rank = ranks_[rr];
+    const std::int64_t n_r = partition_.size(r);
+
+    sim::TaskDesc task;
+    task.label = "softmax_xent";
+    task.kind = sim::TaskKind::kLoss;
+    task.cost = with_overhead(loss_cost(n_r, classes));
+    if (!ready.empty() && ready[rr].valid()) task.waits.push_back(ready[rr]);
+
+    float* logits = rank.outputs.back().data();
+    const std::int32_t* labels = rank.labels.data();
+    const std::uint8_t* mask = rank.train_mask.data();
+    const std::int64_t total_train = std::max<std::int64_t>(total_train_, 1);
+    task.body = [this, logits, labels, mask, n_r, classes, total_train] {
+      const LossResult local = softmax_cross_entropy_inplace(
+          {logits, n_r, classes}, labels, mask, total_train);
+      std::lock_guard lock(loss_mutex_);
+      loss_sum_ += local.loss_sum;
+      correct_ += local.correct;
+      counted_ += local.counted;
+    };
+    events[rr] = machine_.device(r).compute_stream().enqueue(std::move(task));
+  }
+  return events;
+}
+
+void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
+  const int p = machine_.num_devices();
+  const auto np = static_cast<std::size_t>(p);
+  const bool overlapping = config_.overlap && p > 1;
+  const int layers = num_layers();
+
+  // Deferred Adam steps: (layer, per-rank allreduce events). The paper
+  // reduces W gradients "at the end of every epoch" so the reductions
+  // overlap the remaining backward layers.
+  std::vector<std::pair<int, std::vector<sim::Event>>> pending_adam;
+
+  for (int l = layers - 1; l >= 0; --l) {
+    const auto& plan = plan_[static_cast<std::size_t>(l)];
+    // Gradient carousel (§4.2, eq. (21)): the gradient w.r.t. O_l lives in
+    // O_l itself — the loss writes it there for the top layer, and each
+    // layer's fused masked H_G GeMM writes it there for the layer below.
+    std::vector<sim::DeviceBuffer*> grad_buf = layer_buffers(l);
+    std::vector<sim::DeviceBuffer*> layer_in =
+        l == 0 ? buffers_of(&RankState::x) : layer_buffers(l - 1);
+
+    // (1) Backward SpMM Z = Â * G' (eq. (9)) into the shared HW buffer —
+    // or §4.4's first-layer skip: use G' directly.
+    std::vector<sim::DeviceBuffer*> z_buf;
+    if (!plan.skip_backward_spmm) {
+      DistSpmm::Io io;
+      io.input = grad_buf;
+      io.output = buffers_of(&RankState::hw);
+      io.bc1 = buffers_of(&RankState::bc1);
+      io.bc2 = buffers_of(&RankState::bc2);
+      io.d = plan.d_out;
+      io.input_ready = grad_ready;
+      io.overlap = overlapping;
+      io.compute_bandwidth_scale = compute_bandwidth_scale_;
+      io.slot_readers = &bc_slot_readers_;
+      io.traffic_factor = config_.spmm_traffic_factor;
+      io.launch_multiplier = config_.kernel_overhead_multiplier;
+      DistSpmm::Result result = backward_spmm_->run(io);
+      for (int r = 0; r < p; ++r) {
+        machine_.device(r).compute_stream().wait_event(
+            result.input_released[static_cast<std::size_t>(r)]);
+      }
+      z_buf = buffers_of(&RankState::hw);
+      grad_ready = result.done;
+    } else {
+      z_buf = grad_buf;
+    }
+
+    // (2) Weight gradient W_G = X_l^T Z (eq. (10)), local partial.
+    std::vector<sim::Event> wg_partial(np);
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      auto& rank = ranks_[rr];
+      const std::int64_t n_r = partition_.size(r);
+
+      sim::TaskDesc task;
+      task.label = "gemm_wgrad";
+      task.kind = sim::TaskKind::kGeMM;
+      task.cost = with_overhead(dense::gemm_cost(plan.d_in, plan.d_out, n_r));
+      if (plan.skip_backward_spmm && grad_ready[rr].valid()) {
+        task.waits.push_back(grad_ready[rr]);
+      }
+      const float* x = layer_in[rr]->data();
+      const float* z = z_buf[rr]->data();
+      float* wg = rank.w_grad[static_cast<std::size_t>(l)].data();
+      task.body = [x, z, wg, n_r, plan] {
+        dense::gemm_at_b({x, n_r, plan.d_in}, {z, n_r, plan.d_out},
+                         {wg, plan.d_in, plan.d_out});
+      };
+      wg_partial[rr] =
+          machine_.device(r).compute_stream().enqueue(std::move(task));
+    }
+
+    // (3) Allreduce of W_G across ranks (the only replicated tensor).
+    std::vector<comm::RankPart> parts(np);
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      parts[rr].buffer = &ranks_[rr].w_grad[static_cast<std::size_t>(l)];
+      parts[rr].waits.push_back(wg_partial[rr]);
+    }
+    std::vector<sim::Event> reduced = comm_->allreduce_sum(
+        std::move(parts), static_cast<std::size_t>(plan.d_in * plan.d_out));
+    pending_adam.emplace_back(l, std::move(reduced));
+
+    // (4) Input gradient H_G = Z * W^T (eq. (11)) fused with the ReLU mask
+    // of layer l-1 (eq. (8)), written in place into O_{l-1}: the buffer
+    // holds the downstream activation on entry and the masked gradient on
+    // exit — the paper's eq. (21) hand-off without extra allocation.
+    // Skipped for the first layer.
+    if (l > 0) {
+      MGGCN_CHECK(!plan.skip_backward_spmm);
+      std::vector<sim::Event> next_grad(np);
+      for (int r = 0; r < p; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        auto& rank = ranks_[rr];
+        const std::int64_t n_r = partition_.size(r);
+
+        sim::TaskDesc task;
+        task.label = "gemm_hgrad_masked";
+        task.kind = sim::TaskKind::kGeMM;
+        task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_in, plan.d_out));
+        task.cost += dense::elementwise_cost(n_r * plan.d_in, 1, 0);
+        const float* z = z_buf[rr]->data();
+        const float* w = rank.w[static_cast<std::size_t>(l)].data();
+        float* out = layer_in[rr]->data();  // O_{l-1}: activation -> gradient
+        task.body = [z, w, out, n_r, plan] {
+          dense::gemm_a_bt_relu_masked({z, n_r, plan.d_out},
+                                       {w, plan.d_in, plan.d_out},
+                                       {out, n_r, plan.d_in});
+        };
+        next_grad[rr] =
+            machine_.device(r).compute_stream().enqueue(std::move(task));
+      }
+      grad_ready = std::move(next_grad);
+    }
+  }
+
+  // (6) Adam steps — one per layer per rank, gated on the allreduce.
+  ++adam_step_;
+  for (auto& [l, reduced] : pending_adam) {
+    const auto& plan = plan_[static_cast<std::size_t>(l)];
+    const std::int64_t count = plan.d_in * plan.d_out;
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      auto& rank = ranks_[rr];
+
+      sim::TaskDesc task;
+      task.label = "adam";
+      task.kind = sim::TaskKind::kOptimizer;
+      task.cost = with_overhead(adam_cost(count));
+      task.waits.push_back(reduced[rr]);
+      float* w = rank.w[static_cast<std::size_t>(l)].data();
+      const float* g = rank.w_grad[static_cast<std::size_t>(l)].data();
+      float* m = rank.adam_m[static_cast<std::size_t>(l)].data();
+      float* v = rank.adam_v[static_cast<std::size_t>(l)].data();
+      const int step = adam_step_;
+      const TrainConfig cfg = config_;
+      task.body = [w, g, m, v, count, step, cfg] {
+        adam_update(w, g, m, v, count, step, cfg.learning_rate, cfg.beta1,
+                    cfg.beta2, cfg.epsilon);
+      };
+      machine_.device(r).compute_stream().enqueue(std::move(task));
+    }
+  }
+}
+
+EpochStats MgGcnTrainer::train_epoch() {
+  const double mark = machine_.align_clocks();
+  {
+    std::lock_guard lock(loss_mutex_);
+    loss_sum_ = 0.0;
+    correct_ = 0;
+    counted_ = 0;
+  }
+
+  std::vector<sim::Event> logits_ready;
+  enqueue_forward(&logits_ready);
+  std::vector<sim::Event> grad_ready = enqueue_loss(logits_ready);
+  enqueue_backward(std::move(grad_ready));
+  machine_.synchronize();
+
+  EpochStats stats;
+  stats.epoch = epoch_++;
+  stats.sim_seconds = machine_.sim_time() - mark;
+  stats.busy_by_kind = machine_.trace().busy_by_kind(mark);
+  stats.peak_memory_bytes = machine_.max_memory_peak();
+  {
+    std::lock_guard lock(loss_mutex_);
+    stats.loss = loss_sum_;
+    stats.train_accuracy =
+        counted_ > 0 ? static_cast<double>(correct_) / counted_ : 0.0;
+  }
+  return stats;
+}
+
+std::vector<EpochStats> MgGcnTrainer::train(int epochs) {
+  std::vector<EpochStats> stats;
+  stats.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) stats.push_back(train_epoch());
+  return stats;
+}
+
+void MgGcnTrainer::run_forward() {
+  enqueue_forward(nullptr);
+  machine_.synchronize();
+}
+
+dense::HostMatrix MgGcnTrainer::gather_logits() const {
+  const std::int64_t n = partition_.total();
+  const std::int64_t classes = dims_.back();
+  dense::HostMatrix logits(n, classes);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t g = perm_[static_cast<std::size_t>(v)];
+    const int owner = partition_.part_of(g);
+    const std::int64_t local = g - partition_.begin(owner);
+    const auto span =
+        ranks_[static_cast<std::size_t>(owner)].outputs.back().span();
+    MGGCN_CHECK_MSG(!span.empty(), "gather_logits requires real mode");
+    dense::copy(span.data() + local * classes, logits.view().row(v), classes);
+  }
+  return logits;
+}
+
+Checkpoint MgGcnTrainer::checkpoint() {
+  machine_.synchronize();
+  Checkpoint snapshot;
+  snapshot.adam_step = adam_step_;
+  const auto& rank0 = ranks_.front();
+  for (int l = 0; l < num_layers(); ++l) {
+    const auto& plan = plan_[static_cast<std::size_t>(l)];
+    auto pull = [&](const sim::DeviceBuffer& buffer) {
+      const auto span = buffer.span();
+      MGGCN_CHECK_MSG(!span.empty(), "checkpointing requires real mode");
+      dense::HostMatrix m(plan.d_in, plan.d_out);
+      dense::copy(span.data(), m.data(), m.size());
+      return m;
+    };
+    snapshot.weights.push_back(pull(rank0.w[static_cast<std::size_t>(l)]));
+    snapshot.adam_m.push_back(pull(rank0.adam_m[static_cast<std::size_t>(l)]));
+    snapshot.adam_v.push_back(pull(rank0.adam_v[static_cast<std::size_t>(l)]));
+  }
+  return snapshot;
+}
+
+void MgGcnTrainer::restore(const Checkpoint& snapshot) {
+  MGGCN_CHECK_MSG(static_cast<int>(snapshot.num_layers()) == num_layers(),
+                  "checkpoint layer count mismatch");
+  machine_.synchronize();
+  adam_step_ = snapshot.adam_step;
+  for (auto& rank : ranks_) {
+    for (int l = 0; l < num_layers(); ++l) {
+      const auto ll = static_cast<std::size_t>(l);
+      const auto& plan = plan_[ll];
+      MGGCN_CHECK_MSG(snapshot.weights[ll].rows() == plan.d_in &&
+                          snapshot.weights[ll].cols() == plan.d_out,
+                      "checkpoint shape mismatch");
+      auto push = [&](const dense::HostMatrix& m, sim::DeviceBuffer& buffer) {
+        auto span = buffer.span();
+        MGGCN_CHECK_MSG(!span.empty(), "restore requires real mode");
+        dense::copy(m.data(), span.data(), m.size());
+      };
+      push(snapshot.weights[ll], rank.w[ll]);
+      push(snapshot.adam_m[ll], rank.adam_m[ll]);
+      push(snapshot.adam_v[ll], rank.adam_v[ll]);
+    }
+  }
+}
+
+double MgGcnTrainer::tile_imbalance() const {
+  return forward_spmm_->grid().imbalance();
+}
+
+std::uint64_t MgGcnTrainer::peak_memory_bytes() const {
+  return machine_.max_memory_peak();
+}
+
+}  // namespace mggcn::core

@@ -1,0 +1,165 @@
+// MgGcnTrainer: the full MG-GCN training pipeline (§4).
+//
+// Construction performs the paper's preprocessing: optional random vertex
+// permutation (§5.2), GCN normalization (eq. (2)), symmetric 1D tiling of
+// Â and Âᵀ (§4.1), device buffer allocation under the L+3 reuse scheme
+// (§4.2, Figs. 1/4), and replication of the (only-replicated) model weights.
+// Each train_epoch() enqueues one forward + backward pass across all
+// simulated GPUs with the staged-broadcast SpMM, optional
+// communication/computation overlap (§4.3), the GeMM/SpMM order switch and
+// the first-layer backward-SpMM skip (§4.4), Adam, and softmax
+// cross-entropy.
+//
+// Buffer plan per device (n_r = local rows, d_l = layer dims):
+//   X       n_r x d_0        input block (given)
+//   O_l     n_r x d_{l+1}    one output buffer per layer; reused for the
+//                            gradient carousel in the backward pass
+//   HW      n_r x max d      the shared GeMM<->SpMM temporary
+//   BC1,BC2 max_part x max d broadcast buffers (BC2 only when overlapping)
+// which is the paper's "L + 3 buffers" (plus the input).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/dist_spmm.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "dense/matrix.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::core {
+
+/// Shared helper so the distributed trainer and the serial reference start
+/// from bit-identical weights.
+std::vector<dense::HostMatrix> init_weights(
+    const std::vector<std::int64_t>& dims, std::uint64_t seed);
+
+/// Layer-dimension chain [d_0, hidden..., classes] for a dataset + config.
+std::vector<std::int64_t> layer_dims(const graph::Dataset& dataset,
+                                     const TrainConfig& config);
+
+/// Per-device bytes of the replicated model state (weights, gradients, and
+/// both Adam moments) — the footprint that does not shrink when the graph
+/// is partitioned or scaled down (see sim::scale_profile).
+std::uint64_t replicated_state_bytes(const std::vector<std::int64_t>& dims);
+
+class MgGcnTrainer {
+ public:
+  MgGcnTrainer(sim::Machine& machine, const graph::Dataset& dataset,
+               TrainConfig config);
+  ~MgGcnTrainer();
+
+  MgGcnTrainer(const MgGcnTrainer&) = delete;
+  MgGcnTrainer& operator=(const MgGcnTrainer&) = delete;
+
+  /// Runs one full-batch epoch (forward, loss, backward, Adam) and returns
+  /// its metrics. Loss/accuracy are only meaningful in real execution mode.
+  EpochStats train_epoch();
+
+  /// Convenience: `epochs` epochs, returning per-epoch stats.
+  std::vector<EpochStats> train(int epochs);
+
+  /// Enqueues a forward pass only (no loss/backward) and synchronizes.
+  void run_forward();
+
+  /// Gathers the logits in the original (un-permuted) vertex order.
+  /// Real mode only.
+  [[nodiscard]] dense::HostMatrix gather_logits() const;
+
+  /// Snapshot of the replicated model state (weights + Adam moments +
+  /// step counter), taken from rank 0 after draining the machine.
+  /// Real mode only.
+  [[nodiscard]] Checkpoint checkpoint();
+
+  /// Restores a snapshot into every rank; training resumes exactly where
+  /// the snapshot was taken. Real mode only.
+  void restore(const Checkpoint& checkpoint);
+
+  [[nodiscard]] const PartitionVector& partition() const {
+    return partition_;
+  }
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+  /// nnz imbalance ratio of the forward tiling (Fig. 6's quantity).
+  [[nodiscard]] double tile_imbalance() const;
+  /// Host seconds spent in preprocessing (permute/normalize/tile).
+  [[nodiscard]] double preprocessing_seconds() const {
+    return preprocessing_seconds_;
+  }
+  [[nodiscard]] std::uint64_t peak_memory_bytes() const;
+  [[nodiscard]] int num_layers() const {
+    return static_cast<int>(dims_.size()) - 1;
+  }
+
+ private:
+  struct LayerPlan {
+    std::int64_t d_in = 0;
+    std::int64_t d_out = 0;
+    bool spmm_first = false;  // §4.4 order switch
+    bool has_relu = true;     // all but the last layer
+    bool skip_backward_spmm = false;  // §4.4 first-layer skip
+  };
+
+  struct RankState {
+    sim::DeviceBuffer x;                    // input block
+    std::vector<sim::DeviceBuffer> outputs;  // O_l per layer
+    sim::DeviceBuffer hw;                    // shared temporary
+    sim::DeviceBuffer bc1, bc2;              // broadcast buffers
+    std::vector<sim::DeviceBuffer> w, w_grad, adam_m, adam_v;
+    /// Unused per-layer buffers emulating frameworks without buffer reuse
+    /// (allocated iff !config.reuse_buffers; memory accounting only).
+    std::vector<sim::DeviceBuffer> ballast;
+    std::vector<std::int32_t> labels;        // local rows, real mode
+    std::vector<std::uint8_t> train_mask;    // local rows, real mode
+  };
+
+  void build_plan();
+  void preprocess(const graph::Dataset& dataset);
+  void allocate_buffers();
+  void upload_inputs(const graph::Dataset& dataset);
+
+  void enqueue_forward(std::vector<sim::Event>* logits_ready);
+  std::vector<sim::Event> enqueue_loss(const std::vector<sim::Event>& ready);
+  void enqueue_backward(std::vector<sim::Event> grad_ready);
+
+  [[nodiscard]] sim::KernelCost with_overhead(sim::KernelCost cost) const;
+
+  [[nodiscard]] std::vector<sim::DeviceBuffer*> buffers_of(
+      sim::DeviceBuffer RankState::* member);
+  [[nodiscard]] std::vector<sim::DeviceBuffer*> layer_buffers(int layer);
+
+  sim::Machine& machine_;
+  TrainConfig config_;
+  std::vector<std::int64_t> dims_;
+  std::vector<LayerPlan> plan_;
+
+  PartitionVector partition_;
+  std::vector<std::uint32_t> perm_;  // original -> permuted vertex id
+  std::unique_ptr<comm::Communicator> comm_;
+  std::unique_ptr<DistSpmm> forward_spmm_;   // tiles of Â^T
+  std::unique_ptr<DistSpmm> backward_spmm_;  // tiles of Â
+
+  std::vector<RankState> ranks_;
+  /// Cross-layer BC1/BC2 write-after-read hazard state (see DistSpmm::Io).
+  std::vector<std::array<sim::Event, 2>> bc_slot_readers_;
+  std::int64_t total_train_ = 0;
+  double compute_bandwidth_scale_ = 1.0;
+
+  int adam_step_ = 0;
+  int epoch_ = 0;
+  double preprocessing_seconds_ = 0.0;
+
+  // Loss accumulation side-channel (real mode), reset per epoch.
+  std::mutex loss_mutex_;
+  double loss_sum_ = 0.0;
+  std::int64_t correct_ = 0;
+  std::int64_t counted_ = 0;
+};
+
+}  // namespace mggcn::core

@@ -1,0 +1,60 @@
+// Dense kernels (host implementations of what cuBLAS + fused elementwise
+// kernels do in the paper's system) and their cost descriptors.
+//
+// The cost functions return KernelCost records for the simulated timeline;
+// they are pure functions of the shapes so phantom-mode runs produce the
+// same schedule as real runs.
+#pragma once
+
+#include <cstdint>
+
+#include "dense/matrix.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mggcn::dense {
+
+/// C = alpha * A(m x k) * B(k x n) + beta * C.
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// C = alpha * A^T * B + beta * C, with A (k x m), B (k x n), C (m x n).
+/// (The weight-gradient GeMM HW_G^T * H of eq. (10).)
+void gemm_at_b(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+               float alpha = 1.0f, float beta = 0.0f);
+
+/// C = alpha * A * B^T + beta * C, with A (m x k), B (n x k), C (m x n).
+/// (The input-gradient GeMM HW_G * W^T of eq. (11).)
+void gemm_a_bt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+               float alpha = 1.0f, float beta = 0.0f);
+
+/// Fused eq. (11) + eq. (8): C[i,j] = C[i,j] > 0 ? (A * B^T)[i,j] : 0.
+/// On entry C holds the *activation* of the downstream layer; it is
+/// consumed for the ReLU mask and overwritten with the masked input
+/// gradient in place — this is what lets MG-GCN's backward pass hand the
+/// gradient to the next layer inside that layer's own output buffer
+/// without any extra allocation (§4.2, eq. (21)).
+void gemm_a_bt_relu_masked(ConstMatrixView a, ConstMatrixView b,
+                           MatrixView c);
+
+/// out = max(in, 0), elementwise over n values (eq. (7)).
+void relu_forward(const float* in, float* out, std::int64_t n);
+
+/// grad_in = grad_out where pre_activation > 0 else 0 (eq. (8)).
+void relu_backward(const float* grad_out, const float* pre_activation,
+                   float* grad_in, std::int64_t n);
+
+void fill(float* dst, std::int64_t n, float value);
+void copy(const float* src, float* dst, std::int64_t n);
+/// y += alpha * x.
+void axpy(const float* x, float* y, std::int64_t n, float alpha);
+
+/// Cost of a GeMM of the given shape (counts one kernel launch).
+[[nodiscard]] sim::KernelCost gemm_cost(std::int64_t m, std::int64_t n,
+                                        std::int64_t k);
+
+/// Cost of an elementwise pass reading `reads` and writing `writes` arrays
+/// of n floats.
+[[nodiscard]] sim::KernelCost elementwise_cost(std::int64_t n, int reads,
+                                               int writes);
+
+}  // namespace mggcn::dense

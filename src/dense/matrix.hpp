@@ -1,0 +1,103 @@
+// Dense row-major matrix types.
+//
+// Device-resident data lives in flat sim::DeviceBuffer storage; kernels view
+// it through MatrixView (non-owning, shape-carrying). HostMatrix owns its
+// storage and is used for inputs, references, and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::dense {
+
+/// Non-owning view of a row-major matrix.
+template <typename T>
+struct BasicMatrixView {
+  T* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  [[nodiscard]] std::int64_t size() const { return rows * cols; }
+  [[nodiscard]] T* row(std::int64_t r) const { return data + r * cols; }
+  [[nodiscard]] T& at(std::int64_t r, std::int64_t c) const {
+    return data[r * cols + c];
+  }
+  [[nodiscard]] bool valid() const { return data != nullptr; }
+
+  operator BasicMatrixView<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return {data, rows, cols};
+  }
+};
+
+using MatrixView = BasicMatrixView<float>;
+using ConstMatrixView = BasicMatrixView<const float>;
+
+/// Owning row-major host matrix (fp32, like the paper's training).
+class HostMatrix {
+ public:
+  HostMatrix() = default;
+  HostMatrix(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+    MGGCN_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t size() const { return rows_ * cols_; }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  [[nodiscard]] MatrixView view() { return {data_.data(), rows_, cols_}; }
+  [[nodiscard]] ConstMatrixView view() const {
+    return {data_.data(), rows_, cols_};
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Glorot/Xavier-uniform initialization, as used for GCN weights.
+  void init_glorot(util::Rng& rng) {
+    const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+    for (auto& v : data_) {
+      v = static_cast<float>(rng.uniform(-limit, limit));
+    }
+  }
+
+  void init_gaussian(util::Rng& rng, double mean = 0.0, double stddev = 1.0) {
+    for (auto& v : data_) {
+      v = static_cast<float>(rng.gaussian(mean, stddev));
+    }
+  }
+
+  /// Rows [begin, end) as a new matrix (used to scatter H across devices).
+  [[nodiscard]] HostMatrix row_block(std::int64_t begin,
+                                     std::int64_t end) const {
+    MGGCN_CHECK(0 <= begin && begin <= end && end <= rows_);
+    HostMatrix out(end - begin, cols_);
+    std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+              out.data_.begin());
+    return out;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Max |a-b| over two equally-shaped matrices (test helper).
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace mggcn::dense

@@ -1,0 +1,160 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace mggcn::graph {
+
+// Table 1 of the paper. m counts directed edges (nnz of the symmetric
+// adjacency), so avg_degree = m / n.
+DatasetSpec cora() {
+  return {.name = "Cora", .n = 3300, .m = 9200, .feature_dim = 3703,
+          .num_classes = 6, .avg_degree = 3.0, .degree_sigma = 0.8,
+          .clustering = 0.35};
+}
+
+DatasetSpec arxiv() {
+  return {.name = "Arxiv", .n = 169'000, .m = 1'160'000, .feature_dim = 128,
+          .num_classes = 40, .avg_degree = 7.0, .degree_sigma = 1.0,
+          .clustering = 0.4};
+}
+
+DatasetSpec papers() {
+  return {.name = "Papers", .n = 111'000'000, .m = 1'610'000'000,
+          .feature_dim = 128, .num_classes = 172, .avg_degree = 15.0,
+          .degree_sigma = 1.1, .clustering = 0.4};
+}
+
+DatasetSpec products() {
+  return {.name = "Products", .n = 2'500'000, .m = 126'000'000,
+          .feature_dim = 104, .num_classes = 47, .avg_degree = 52.0,
+          .degree_sigma = 1.3, .clustering = 0.5};
+}
+
+DatasetSpec proteins() {
+  return {.name = "Proteins", .n = 8'740'000, .m = 1'300'000'000,
+          .feature_dim = 128, .num_classes = 256, .avg_degree = 150.0,
+          .degree_sigma = 1.1, .clustering = 0.5};
+}
+
+DatasetSpec reddit() {
+  return {.name = "Reddit", .n = 233'000, .m = 115'000'000,
+          .feature_dim = 602, .num_classes = 41, .avg_degree = 492.0,
+          .degree_sigma = 1.0, .clustering = 0.55};
+}
+
+std::vector<DatasetSpec> all_datasets() {
+  return {cora(), arxiv(), papers(), products(), proteins(), reddit()};
+}
+
+DatasetSpec dataset_by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const auto& spec : all_datasets()) {
+    std::string spec_lower(spec.name);
+    std::transform(spec_lower.begin(), spec_lower.end(), spec_lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (spec_lower == lower) return spec;
+  }
+  throw InvalidArgumentError("unknown dataset: " + name);
+}
+
+namespace {
+
+/// Class-dependent feature synthesis: each class has a random ±0.5 mean
+/// pattern; vertices get their class pattern plus unit Gaussian noise scaled
+/// by 1/snr. With the homophily the BTER communities provide, a GCN learns
+/// these labels quickly — that's what the correctness tests train on.
+void synthesize_features(Dataset& ds, const std::vector<std::uint32_t>& community,
+                         const DatasetOptions& options, util::Rng& rng) {
+  const std::int64_t n = ds.n();
+  const std::int64_t d = ds.spec.feature_dim;
+  const std::int64_t classes = ds.spec.num_classes;
+
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    ds.labels[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(
+        community[static_cast<std::size_t>(v)] % classes);
+  }
+
+  dense::HostMatrix class_means(classes, d);
+  for (std::int64_t c = 0; c < classes; ++c) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      class_means.at(c, j) = rng.bernoulli(0.5) ? 0.5f : -0.5f;
+    }
+  }
+
+  const double noise = options.feature_snr > 0.0 ? 1.0 / options.feature_snr
+                                                 : 1.0;
+  ds.features = dense::HostMatrix(n, d);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const auto c = ds.labels[static_cast<std::size_t>(v)];
+    for (std::int64_t j = 0; j < d; ++j) {
+      ds.features.at(v, j) = class_means.at(c, j) +
+                             static_cast<float>(rng.gaussian(0.0, noise));
+    }
+  }
+
+  ds.train_mask.assign(static_cast<std::size_t>(n), 0);
+  ds.val_mask.assign(static_cast<std::size_t>(n), 0);
+  ds.test_mask.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const double u = rng.uniform();
+    if (u < options.train_fraction) {
+      ds.train_mask[static_cast<std::size_t>(v)] = 1;
+    } else if (u < options.train_fraction + options.val_fraction) {
+      ds.val_mask[static_cast<std::size_t>(v)] = 1;
+    } else {
+      ds.test_mask[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_dataset(const DatasetSpec& spec, const DatasetOptions& options) {
+  MGGCN_CHECK(options.scale >= 1.0);
+  util::Rng rng(options.seed ^ std::hash<std::string>{}(spec.name));
+
+  const auto n_scaled = std::max<std::int64_t>(
+      64, static_cast<std::int64_t>(
+              static_cast<double>(spec.n) / options.scale));
+
+  BterParams params;
+  params.n = n_scaled;
+  params.avg_degree = std::min(spec.avg_degree,
+                               static_cast<double>(n_scaled - 1) * 0.5);
+  params.degree_sigma = spec.degree_sigma;
+  params.clustering = spec.clustering;
+  BterGraph graph = bter_like(params, rng);
+
+  Dataset ds;
+  ds.spec = spec;
+  ds.scale = static_cast<double>(spec.n) / static_cast<double>(n_scaled);
+  ds.adjacency = sparse::Csr::from_coo(graph.edges);
+  if (options.with_features) {
+    synthesize_features(ds, graph.community, options, rng);
+  }
+  return ds;
+}
+
+DatasetSpec scaled_arxiv_spec(double degree_scale) {
+  DatasetSpec spec = arxiv();
+  spec.name = "Arxiv-x" + std::to_string(static_cast<int>(degree_scale));
+  spec.avg_degree *= degree_scale;
+  spec.m = static_cast<std::int64_t>(static_cast<double>(spec.m) *
+                                     degree_scale);
+  // The paper's synthetic study uses 512 features and 40 classes.
+  spec.feature_dim = 512;
+  spec.num_classes = 40;
+  return spec;
+}
+
+Dataset make_scaled_arxiv(double degree_scale, const DatasetOptions& options) {
+  return make_dataset(scaled_arxiv_spec(degree_scale), options);
+}
+
+}  // namespace mggcn::graph

@@ -1,0 +1,87 @@
+// Dataset registry: synthetic replicas of the paper's Table 1 benchmarks.
+//
+// Each spec carries the full-scale parameters from Table 1 (n, m, d(0),
+// d(L), average degree) plus the generator knobs that shape the replica
+// (degree skew, clustering). A replica can be generated at a reduced
+// `scale` — structure size shrinks by that factor while the average degree
+// and feature dimensions are preserved, so per-vertex and per-edge costs
+// stay faithful; benches extrapolate the full-scale cost linearly and print
+// the scale they used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "graph/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::graph {
+
+struct DatasetSpec {
+  std::string name;
+  std::int64_t n = 0;          ///< full-scale vertices (Table 1)
+  std::int64_t m = 0;          ///< full-scale edges (Table 1)
+  std::int64_t feature_dim = 0;   ///< d(0)
+  std::int64_t num_classes = 0;   ///< d(L)
+  double avg_degree = 0.0;        ///< k
+  double degree_sigma = 1.0;      ///< replica degree-distribution skew
+  double clustering = 0.5;        ///< replica community density
+};
+
+/// Table 1 datasets.
+DatasetSpec cora();
+DatasetSpec arxiv();
+DatasetSpec papers();
+DatasetSpec products();
+DatasetSpec proteins();
+DatasetSpec reddit();
+
+/// All six, in Table 1 order.
+std::vector<DatasetSpec> all_datasets();
+
+/// Lookup by (case-insensitive) name; throws InvalidArgumentError.
+DatasetSpec dataset_by_name(const std::string& name);
+
+/// A generated replica.
+struct Dataset {
+  DatasetSpec spec;   ///< full-scale reference parameters
+  double scale = 1.0; ///< structure reduction factor actually used
+
+  sparse::Csr adjacency;  ///< symmetric, unit weights, no self-loops
+  dense::HostMatrix features;         ///< n_scaled x feature_dim (may be empty)
+  std::vector<std::int32_t> labels;   ///< n_scaled (may be empty)
+  std::vector<std::uint8_t> train_mask, val_mask, test_mask;
+
+  [[nodiscard]] std::int64_t n() const { return adjacency.rows(); }
+  [[nodiscard]] std::int64_t nnz() const { return adjacency.nnz(); }
+  [[nodiscard]] bool has_features() const { return features.rows() > 0; }
+
+  /// Linear cost-extrapolation factor back to the paper's full scale.
+  [[nodiscard]] double extrapolation() const { return scale; }
+};
+
+struct DatasetOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Generate features/labels/splits (off for structure-only phantom runs).
+  bool with_features = true;
+  /// Fraction of label-signal in features; higher = easier training.
+  double feature_snr = 1.0;
+  double train_fraction = 0.6;
+  double val_fraction = 0.2;
+};
+
+/// Generates a replica of `spec` at spec.n / options.scale vertices.
+Dataset make_dataset(const DatasetSpec& spec, const DatasetOptions& options);
+
+/// Spec for the paper's §6.4 BTER scaling study: Arxiv-shaped graphs with
+/// the average degree multiplied by `degree_scale` (1, 2, ..., 128),
+/// 512 features, 40 classes.
+DatasetSpec scaled_arxiv_spec(double degree_scale);
+
+/// Generates a replica of scaled_arxiv_spec(degree_scale).
+Dataset make_scaled_arxiv(double degree_scale, const DatasetOptions& options);
+
+}  // namespace mggcn::graph

@@ -1,0 +1,52 @@
+// Synthetic graph generators.
+//
+// The centerpiece is a BTER-style generator (Kolda et al., the generator the
+// paper itself uses for its §6.4 scaling study): it takes a target average
+// degree, a degree-distribution skew, and a clustering knob, and produces a
+// community-structured graph. Vertices are emitted in degree-sorted,
+// community-blocked order — the "natural" skewed ordering that makes the
+// paper's random-permutation load balancing matter (Figs. 6-7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::graph {
+
+/// G(n, p) with p chosen to hit `avg_degree`. Undirected (symmetric COO).
+sparse::Coo erdos_renyi(std::int64_t n, double avg_degree, util::Rng& rng);
+
+/// R-MAT with partition probabilities (a, b, c); n is rounded up to a power
+/// of two internally and trimmed back. Undirected, deduplicated.
+sparse::Coo rmat(std::int64_t n, std::int64_t num_edges, double a, double b,
+                 double c, util::Rng& rng);
+
+struct BterParams {
+  std::int64_t n = 0;
+  /// Target average degree (nnz per row of the symmetric adjacency).
+  double avg_degree = 8.0;
+  /// Lognormal sigma of the degree distribution (skew). 0 = near-regular.
+  double degree_sigma = 1.0;
+  /// Intra-community connection probability (clustering strength).
+  double clustering = 0.5;
+};
+
+struct BterGraph {
+  sparse::Coo edges;  ///< symmetric, deduplicated, no self-loops
+  /// Community (affinity block) id per vertex — reused as the planted label
+  /// signal for feature synthesis.
+  std::vector<std::uint32_t> community;
+};
+
+/// BTER-style two-phase generation: affinity blocks of similar-degree
+/// vertices wired as dense Erdős–Rényi cliques, plus a Chung–Lu pass for
+/// the residual degree.
+BterGraph bter_like(const BterParams& params, util::Rng& rng);
+
+/// Average degree (nnz / n) of a symmetric COO.
+double average_degree(const sparse::Coo& coo);
+
+}  // namespace mggcn::graph

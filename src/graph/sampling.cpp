@@ -1,0 +1,156 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace mggcn::graph {
+
+std::int64_t SampledSubgraph::total_vertices() const {
+  // Vertices appearing in several layers are counted once.
+  std::unordered_set<std::uint32_t> unique;
+  for (const auto& layer : layers) {
+    unique.insert(layer.begin(), layer.end());
+  }
+  return static_cast<std::int64_t>(unique.size());
+}
+
+std::int64_t SampledSubgraph::total_edges() const {
+  std::int64_t total = 0;
+  for (const auto e : edges_per_hop) total += e;
+  return total;
+}
+
+NeighborSampler::NeighborSampler(const sparse::Csr& adjacency,
+                                 std::vector<std::int64_t> fanout)
+    : adjacency_(adjacency), fanout_(std::move(fanout)) {
+  MGGCN_CHECK_MSG(!fanout_.empty(), "sampler needs at least one hop");
+  MGGCN_CHECK_MSG(adjacency_.rows() == adjacency_.cols(),
+                  "sampler needs a square adjacency");
+}
+
+std::vector<std::uint32_t> NeighborSampler::random_batch(
+    std::int64_t batch_size, util::Rng& rng) const {
+  const auto n = static_cast<std::uint64_t>(adjacency_.rows());
+  MGGCN_CHECK(batch_size >= 1 &&
+              batch_size <= static_cast<std::int64_t>(n));
+  std::unordered_set<std::uint32_t> picked;
+  while (static_cast<std::int64_t>(picked.size()) < batch_size) {
+    picked.insert(static_cast<std::uint32_t>(rng.uniform_index(n)));
+  }
+  return {picked.begin(), picked.end()};
+}
+
+SampledSubgraph NeighborSampler::sample(
+    const std::vector<std::uint32_t>& seeds, util::Rng& rng) const {
+  SampledSubgraph out;
+  std::vector<std::uint32_t> frontier = seeds;
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+  out.layers.push_back(frontier);
+
+  const auto row_ptr = adjacency_.row_ptr();
+  const auto col_idx = adjacency_.col_idx();
+
+  for (const std::int64_t cap : fanout_) {
+    std::unordered_set<std::uint32_t> next;
+    // Per frontier vertex: the sampled neighbor ids (global).
+    std::vector<std::vector<std::uint32_t>> sampled(frontier.size());
+    std::int64_t edges = 0;
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      const std::uint32_t v = frontier[f];
+      const auto begin = row_ptr[v];
+      const auto end = row_ptr[v + 1];
+      const std::int64_t degree = end - begin;
+      if (cap <= 0 || degree <= cap) {
+        for (auto e = begin; e < end; ++e) {
+          const auto u = col_idx[static_cast<std::size_t>(e)];
+          sampled[f].push_back(u);
+          next.insert(u);
+        }
+        edges += degree;
+      } else {
+        // Sample `cap` neighbors without replacement (partial
+        // Fisher-Yates over the edge range indices).
+        std::vector<std::int64_t> offsets(
+            static_cast<std::size_t>(degree));
+        for (std::int64_t i = 0; i < degree; ++i) {
+          offsets[static_cast<std::size_t>(i)] = begin + i;
+        }
+        for (std::int64_t i = 0; i < cap; ++i) {
+          const auto pick =
+              i + static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(degree - i)));
+          std::swap(offsets[static_cast<std::size_t>(i)],
+                    offsets[static_cast<std::size_t>(pick)]);
+          const auto u = col_idx[static_cast<std::size_t>(
+              offsets[static_cast<std::size_t>(i)])];
+          sampled[f].push_back(u);
+          next.insert(u);
+        }
+        edges += cap;
+      }
+    }
+    out.edges_per_hop.push_back(edges);
+    std::vector<std::uint32_t> next_layer(next.begin(), next.end());
+    std::sort(next_layer.begin(), next_layer.end());
+
+    // Materialize the aggregation block in local indices with
+    // mean-aggregation weights.
+    std::unordered_map<std::uint32_t, std::uint32_t> local;
+    local.reserve(next_layer.size());
+    for (std::uint32_t i = 0; i < next_layer.size(); ++i) {
+      local.emplace(next_layer[i], i);
+    }
+    sparse::Coo block(static_cast<std::int64_t>(frontier.size()),
+                      static_cast<std::int64_t>(next_layer.size()));
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      if (sampled[f].empty()) continue;
+      const float w = 1.0f / static_cast<float>(sampled[f].size());
+      for (const std::uint32_t u : sampled[f]) {
+        block.add(static_cast<std::uint32_t>(f), local.at(u), w);
+      }
+    }
+    out.blocks.push_back(sparse::Csr::from_coo(block));
+
+    frontier = std::move(next_layer);
+    out.layers.push_back(frontier);
+  }
+  return out;
+}
+
+ExplosionStats measure_neighborhood_explosion(
+    const sparse::Csr& adjacency, const std::vector<std::int64_t>& fanout,
+    std::int64_t batch_size, int num_batches, util::Rng& rng) {
+  MGGCN_CHECK(num_batches >= 1);
+  const NeighborSampler sampler(adjacency, fanout);
+
+  double vertices = 0.0;
+  double edges = 0.0;
+  for (int b = 0; b < num_batches; ++b) {
+    const SampledSubgraph sub =
+        sampler.sample(sampler.random_batch(batch_size, rng), rng);
+    vertices += static_cast<double>(sub.total_vertices());
+    edges += static_cast<double>(sub.total_edges());
+  }
+  ExplosionStats stats;
+  stats.mean_vertices = vertices / num_batches;
+  stats.mean_edges = edges / num_batches;
+
+  // Per epoch: n/batch batches, each touching mean_edges sampled edges;
+  // full batch touches every edge once per layer (hop).
+  const double batches_per_epoch =
+      static_cast<double>(adjacency.rows()) /
+      static_cast<double>(batch_size);
+  const double full_batch_edges =
+      static_cast<double>(adjacency.nnz()) *
+      static_cast<double>(fanout.size());
+  stats.epoch_work_multiplier =
+      batches_per_epoch * stats.mean_edges / full_batch_edges;
+  return stats;
+}
+
+}  // namespace mggcn::graph

@@ -1,0 +1,263 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace mggcn::sim {
+
+// ---------------------------------------------------------------- Event --
+
+Event Event::signaled(double sim_time) {
+  auto state = std::make_shared<Event::State>();
+  state->done = true;
+  state->sim_time = sim_time;
+  return Event(std::move(state));
+}
+
+double Event::wait() const {
+  MGGCN_CHECK_MSG(state_ != nullptr, "waiting on a null event");
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->sim_time;
+}
+
+bool Event::is_complete() const {
+  if (!state_) return false;
+  std::lock_guard lock(state_->mutex);
+  return state_->done;
+}
+
+// --------------------------------------------------------------- Stream --
+
+Stream::Stream(Device& device, int id) : device_(device), id_(id) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+Event Stream::enqueue(TaskDesc desc) {
+  auto state = std::make_shared<Event::State>();
+  const bool accepted =
+      queue_.push(PendingTask{std::move(desc), state});
+  MGGCN_CHECK_MSG(accepted, "enqueue on a destroyed stream");
+  return Event(state);
+}
+
+Event Stream::record_event() {
+  TaskDesc marker;
+  marker.label = "event";
+  marker.traced = false;
+  return enqueue(std::move(marker));
+}
+
+void Stream::wait_event(const Event& event) {
+  TaskDesc barrier;
+  barrier.label = "wait_event";
+  barrier.traced = false;
+  barrier.waits.push_back(event);
+  enqueue(std::move(barrier));
+}
+
+void Stream::synchronize() { record_event().wait(); }
+
+double Stream::sim_time() const {
+  std::lock_guard lock(time_mutex_);
+  return sim_time_;
+}
+
+void Stream::worker_loop() {
+  while (auto task = queue_.pop()) {
+    run_task(*task);
+  }
+}
+
+void Stream::run_task(PendingTask& task) {
+  TaskDesc& desc = task.desc;
+
+  // Resolve dependencies: host-block until every awaited event is signaled,
+  // taking the max of their simulated timestamps.
+  double ready = sim_time();
+  for (const Event& event : desc.waits) {
+    ready = std::max(ready, event.wait());
+  }
+
+  double t_begin = ready;
+  double t_end = ready;
+
+  if (desc.collective) {
+    CollectiveGroup& group = *desc.collective;
+    std::unique_lock lock(group.mutex);
+    group.start_max = std::max(group.start_max, ready);
+    if (++group.arrived == group.nranks) {
+      group.cv.notify_all();
+    } else {
+      group.cv.wait(lock, [&] { return group.arrived == group.nranks; });
+    }
+    if (desc.collective_executor) {
+      if (group.action && device_.mode() == ExecutionMode::kReal) {
+        lock.unlock();
+        group.action();
+        lock.lock();
+      }
+      group.action_done = true;
+      group.cv.notify_all();
+    } else {
+      group.cv.wait(lock, [&] { return group.action_done; });
+    }
+    t_begin = group.start_max;
+    t_end = t_begin + group.duration;
+  } else {
+    if (desc.body && device_.mode() == ExecutionMode::kReal) {
+      desc.body();
+    }
+    const bool has_cost = desc.cost.stream_bytes > 0.0 ||
+                          desc.cost.gather_bytes > 0.0 ||
+                          desc.cost.flops > 0.0;
+    const double duration =
+        has_cost || desc.traced
+            ? CostModel::seconds(desc.cost, device_.profile(),
+                                 desc.bandwidth_scale)
+            : 0.0;
+    t_end = t_begin + duration;
+  }
+
+  {
+    std::lock_guard lock(time_mutex_);
+    sim_time_ = t_end;
+  }
+
+  if (desc.traced && device_.trace() != nullptr) {
+    device_.trace()->record(TraceRecord{
+        .device = device_.rank(),
+        .stream = id_,
+        .kind = desc.collective ? TaskKind::kComm : desc.kind,
+        .label = desc.label,
+        .stage = desc.stage,
+        .t_begin = t_begin,
+        .t_end = t_end,
+    });
+  }
+
+  {
+    std::lock_guard lock(task.signal->mutex);
+    task.signal->done = true;
+    task.signal->sim_time = t_end;
+  }
+  task.signal->cv.notify_all();
+}
+
+// --------------------------------------------------------------- Device --
+
+Device::Device(int rank, DeviceProfile profile, ExecutionMode mode,
+               Trace* trace)
+    : rank_(rank), profile_(std::move(profile)), mode_(mode), trace_(trace) {
+  streams_.push_back(std::make_unique<Stream>(*this, kComputeStream));
+  streams_.push_back(std::make_unique<Stream>(*this, kCommStream));
+}
+
+Device::~Device() = default;
+
+void Device::reserve_memory(std::uint64_t bytes, const std::string& what) {
+  std::lock_guard lock(memory_mutex_);
+  if (memory_used_ + bytes > profile_.memory_bytes) {
+    std::ostringstream os;
+    os << "device " << rank_ << " (" << profile_.name
+       << ") out of memory allocating " << util::format_bytes(bytes)
+       << " for '" << what << "': " << util::format_bytes(memory_used_)
+       << " already in use of " << util::format_bytes(profile_.memory_bytes);
+    throw OutOfMemoryError(os.str());
+  }
+  memory_used_ += bytes;
+  memory_peak_ = std::max(memory_peak_, memory_used_);
+}
+
+void Device::release_memory(std::uint64_t bytes) noexcept {
+  std::lock_guard lock(memory_mutex_);
+  memory_used_ = bytes <= memory_used_ ? memory_used_ - bytes : 0;
+}
+
+std::uint64_t Device::memory_used() const {
+  std::lock_guard lock(memory_mutex_);
+  return memory_used_;
+}
+
+std::uint64_t Device::memory_peak() const {
+  std::lock_guard lock(memory_mutex_);
+  return memory_peak_;
+}
+
+void Device::reset_memory_peak() {
+  std::lock_guard lock(memory_mutex_);
+  memory_peak_ = memory_used_;
+}
+
+void Device::synchronize() {
+  for (auto& stream : streams_) stream->synchronize();
+}
+
+double Device::sim_time() const {
+  double t = 0.0;
+  for (const auto& stream : streams_) t = std::max(t, stream->sim_time());
+  return t;
+}
+
+// --------------------------------------------------------- DeviceBuffer --
+
+DeviceBuffer::DeviceBuffer(Device& device, std::size_t elements,
+                           std::string name)
+    : device_(&device), elements_(elements), name_(std::move(name)) {
+  device_->reserve_memory(bytes(), name_);
+  if (device_->mode() == ExecutionMode::kReal && elements_ > 0) {
+    storage_ = std::make_unique<float[]>(elements_);  // zero-initialized
+  }
+}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(other.device_),
+      elements_(other.elements_),
+      storage_(std::move(other.storage_)),
+      name_(std::move(other.name_)) {
+  other.device_ = nullptr;
+  other.elements_ = 0;
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    device_ = other.device_;
+    elements_ = other.elements_;
+    storage_ = std::move(other.storage_);
+    name_ = std::move(other.name_);
+    other.device_ = nullptr;
+    other.elements_ = 0;
+  }
+  return *this;
+}
+
+std::span<float> DeviceBuffer::span() {
+  return storage_ ? std::span<float>(storage_.get(), elements_)
+                  : std::span<float>();
+}
+
+std::span<const float> DeviceBuffer::span() const {
+  return storage_ ? std::span<const float>(storage_.get(), elements_)
+                  : std::span<const float>();
+}
+
+void DeviceBuffer::release() {
+  if (device_ != nullptr && elements_ > 0) {
+    device_->release_memory(bytes());
+  }
+  device_ = nullptr;
+  elements_ = 0;
+  storage_.reset();
+}
+
+}  // namespace mggcn::sim

@@ -1,0 +1,53 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+namespace mggcn::sim {
+
+Machine::Machine(MachineProfile profile, int num_devices, ExecutionMode mode)
+    : profile_(std::move(profile)), mode_(mode) {
+  MGGCN_CHECK_MSG(num_devices > 0, "machine needs at least one device");
+  MGGCN_CHECK_MSG(num_devices <= profile_.max_devices,
+                  "machine profile does not have that many devices");
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int rank = 0; rank < num_devices; ++rank) {
+    devices_.push_back(
+        std::make_unique<Device>(rank, profile_.device, mode, &trace_));
+  }
+}
+
+void Machine::synchronize() {
+  for (auto& device : devices_) device->synchronize();
+}
+
+double Machine::align_clocks() {
+  synchronize();
+  const double t = sim_time();
+  const Event aligned = Event::signaled(t);
+  for (auto& device : devices_) {
+    device->compute_stream().wait_event(aligned);
+    device->comm_stream().wait_event(aligned);
+  }
+  synchronize();
+  return t;
+}
+
+double Machine::sim_time() const {
+  double t = 0.0;
+  for (const auto& device : devices_) t = std::max(t, device->sim_time());
+  return t;
+}
+
+std::uint64_t Machine::max_memory_peak() const {
+  std::uint64_t peak = 0;
+  for (const auto& device : devices_) {
+    peak = std::max(peak, device->memory_peak());
+  }
+  return peak;
+}
+
+void Machine::reset_memory_peaks() {
+  for (auto& device : devices_) device->reset_memory_peak();
+}
+
+}  // namespace mggcn::sim

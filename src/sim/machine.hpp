@@ -1,0 +1,52 @@
+// A simulated multi-GPU machine: N identical devices sharing a trace and an
+// interconnect profile.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace.hpp"
+
+namespace mggcn::sim {
+
+class Machine {
+ public:
+  Machine(MachineProfile profile, int num_devices,
+          ExecutionMode mode = ExecutionMode::kReal);
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] Device& device(int rank) {
+    MGGCN_CHECK_MSG(rank >= 0 && rank < num_devices(), "bad device rank");
+    return *devices_[rank];
+  }
+  [[nodiscard]] const MachineProfile& profile() const { return profile_; }
+  [[nodiscard]] ExecutionMode mode() const { return mode_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+
+  /// Drains every stream of every device.
+  void synchronize();
+
+  /// Synchronizes, then advances every stream's simulated clock to the
+  /// machine-wide maximum. Returns that time. Use at phase boundaries
+  /// (epochs) so per-phase trace queries see a clean cut.
+  double align_clocks();
+
+  /// Max simulated time across devices (exact after synchronize()).
+  [[nodiscard]] double sim_time() const;
+
+  /// Peak device-memory use across ranks.
+  [[nodiscard]] std::uint64_t max_memory_peak() const;
+  void reset_memory_peaks();
+
+ private:
+  MachineProfile profile_;
+  ExecutionMode mode_;
+  Trace trace_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace mggcn::sim

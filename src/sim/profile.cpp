@@ -1,0 +1,116 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mggcn::sim {
+
+namespace {
+
+constexpr std::uint64_t kGiB = 1ULL << 30;
+constexpr std::uint64_t kMiB = 1ULL << 20;
+
+}  // namespace
+
+MachineProfile dgx_v100() {
+  MachineProfile m;
+  m.name = "dgx-v100";
+  m.device = DeviceProfile{
+      .name = "V100-SXM2-32GB",
+      .memory_bytes = 32 * kGiB,
+      .memory_bandwidth = 900e9,
+      .l2_bytes = 6 * kMiB,
+      .peak_flops = 14e12,
+      .kernel_launch_overhead = 8e-6,
+  };
+  m.interconnect = InterconnectProfile{
+      .kind = InterconnectKind::kCubeMesh,
+      .links_per_device = 6,
+      .link_bandwidth = 25e9,
+      .efficiency = 0.90,
+  };
+  m.max_devices = 8;
+  return m;
+}
+
+MachineProfile dgx_a100() {
+  MachineProfile m;
+  m.name = "dgx-a100";
+  m.device = DeviceProfile{
+      .name = "A100-SXM4-80GB",
+      .memory_bytes = 80 * kGiB,
+      .memory_bandwidth = 2000e9,
+      .l2_bytes = 40 * kMiB,
+      .peak_flops = 19.5e12,
+      .kernel_launch_overhead = 6e-6,
+  };
+  m.interconnect = InterconnectProfile{
+      .kind = InterconnectKind::kSwitch,
+      .links_per_device = 12,
+      .link_bandwidth = 25e9,
+      .efficiency = 0.90,
+  };
+  m.max_devices = 8;
+  return m;
+}
+
+MachineProfile xeon_9242_cluster() {
+  MachineProfile m;
+  m.name = "xeon-9242";
+  // One socket: 48 cores @2.3GHz, AVX-512 (2 FMA units): ~3.5 TFLOP/s fp32;
+  // 6-channel DDR4-2933: ~140 GB/s; 38.5 MiB LLC. "memory_bytes" is the
+  // 384GB node RAM halved per socket.
+  m.device = DeviceProfile{
+      .name = "Xeon-Platinum-9242",
+      .memory_bytes = 192 * kGiB,
+      .memory_bandwidth = 140e9,
+      .l2_bytes = 38 * kMiB,
+      .peak_flops = 3.5e12,
+      .kernel_launch_overhead = 1e-6,
+  };
+  // Mellanox HDR: 200 Gb/s = 25 GB/s per port; DragonFly topology modeled
+  // as a single-port fabric per socket.
+  m.interconnect = InterconnectProfile{
+      .kind = InterconnectKind::kHostFabric,
+      .links_per_device = 1,
+      .link_bandwidth = 25e9,
+      .efficiency = 0.80,
+  };
+  m.max_devices = 128;
+  return m;
+}
+
+MachineProfile dgx_a100_cluster(int nodes) {
+  MGGCN_CHECK(nodes >= 1);
+  MachineProfile m = dgx_a100();
+  m.name = "dgx-a100-cluster";
+  m.interconnect.devices_per_node = 8;
+  m.interconnect.internode_bandwidth = 25e9;  // HDR 200 Gb/s per node
+  m.max_devices = 8 * nodes;
+  return m;
+}
+
+MachineProfile scale_profile(MachineProfile profile, double scale,
+                             std::uint64_t invariant_bytes) {
+  MGGCN_CHECK(scale >= 1.0);
+  const double variable = std::max(
+      0.0, static_cast<double>(profile.device.memory_bytes) -
+               static_cast<double>(invariant_bytes));
+  profile.device.memory_bytes =
+      invariant_bytes + static_cast<std::uint64_t>(variable / scale);
+  profile.device.l2_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(profile.device.l2_bytes) / scale);
+  profile.device.kernel_launch_overhead /= scale;
+  return profile;
+}
+
+MachineProfile machine_by_name(const std::string& name) {
+  if (name == "dgx-v100" || name == "dgx-1" || name == "v100")
+    return dgx_v100();
+  if (name == "dgx-a100" || name == "a100") return dgx_a100();
+  if (name == "xeon-9242" || name == "cpu") return xeon_9242_cluster();
+  throw InvalidArgumentError("unknown machine profile: " + name);
+}
+
+}  // namespace mggcn::sim

@@ -1,0 +1,113 @@
+// Hardware profiles for the simulated machines.
+//
+// The reproduction targets the two systems of the paper's §6: NVIDIA DGX-1
+// (8x V100-32GB, hybrid cube-mesh NVLink, 6 links/GPU) and NVIDIA DGX-A100
+// (8x A100-80GB, NVSwitch, 12 links/GPU), plus the Intel Xeon 9242 sockets
+// used by the DistGNN comparison (Table 2). All numbers below come from the
+// paper's hardware description or public spec sheets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mggcn::sim {
+
+/// Per-accelerator capability description; consumed by the cost model.
+struct DeviceProfile {
+  std::string name;
+
+  /// HBM capacity in bytes; allocations past this throw OutOfMemoryError.
+  std::uint64_t memory_bytes = 0;
+
+  /// Global memory (HBM) bandwidth, bytes/second.
+  double memory_bandwidth = 0.0;
+
+  /// Last-level cache capacity in bytes. Drives the SpMM gather-reuse term
+  /// responsible for the paper's super-linear speedups (§6.4).
+  std::uint64_t l2_bytes = 0;
+
+  /// Effective fp32 throughput, FLOP/s.
+  double peak_flops = 0.0;
+
+  /// Per-kernel launch latency in seconds. Dominates tiny graphs (Cora),
+  /// matching the paper's observation that small datasets become
+  /// GeMM/overhead bound (§6.1).
+  double kernel_launch_overhead = 0.0;
+};
+
+enum class InterconnectKind {
+  kCubeMesh,   ///< DGX-1: asymmetric hybrid cube mesh, point-to-point links.
+  kSwitch,     ///< DGX-A100: NVSwitch, full bandwidth between any pair.
+  kHostFabric  ///< CPU cluster fabric (DistGNN's HDR InfiniBand).
+};
+
+struct InterconnectProfile {
+  InterconnectKind kind = InterconnectKind::kSwitch;
+
+  /// NVLink links per GPU.
+  int links_per_device = 0;
+
+  /// Per-link, per-direction bandwidth in bytes/second.
+  double link_bandwidth = 0.0;
+
+  /// Fraction of theoretical collective bandwidth actually achieved
+  /// (protocol efficiency; lower for the NCCL 2.4 used by CAGNET).
+  double efficiency = 0.9;
+
+  /// Multi-node clusters (the paper's future work; also how CAGNET's
+  /// beyond-one-node stall is modeled): devices per node (0 = single
+  /// node) and the per-node inter-node fabric bandwidth in bytes/s.
+  /// Collectives spanning several nodes are bottlenecked by this fabric.
+  int devices_per_node = 0;
+  double internode_bandwidth = 0.0;
+
+  /// Aggregate one-direction bandwidth available to a collective rooted at
+  /// a single device: the paper's own model (§5.1) uses
+  /// links_per_device * link_bandwidth.
+  [[nodiscard]] double collective_bandwidth() const {
+    return links_per_device * link_bandwidth * efficiency;
+  }
+};
+
+/// A whole machine: identical devices plus an interconnect.
+struct MachineProfile {
+  std::string name;
+  DeviceProfile device;
+  InterconnectProfile interconnect;
+  int max_devices = 8;
+};
+
+/// DGX-1 ("DGX-V100" in the paper): 8x V100 32GB, 900 GB/s HBM2, 6MB L2,
+/// ~14 TFLOP/s fp32, 6 NVLink2 links x 25 GB/s/direction.
+MachineProfile dgx_v100();
+
+/// DGX-A100: 8x A100 80GB, 2 TB/s HBM2e, 40MB L2, ~19.5 TFLOP/s fp32,
+/// 12 NVLink3 links through NVSwitch (600 GB/s bidirectional per pair).
+MachineProfile dgx_a100();
+
+/// One dual-socket node of DistGNN's cluster: Intel Xeon Platinum 9242
+/// (48 cores/socket), treated per-socket as in Table 2. HDR InfiniBand.
+MachineProfile xeon_9242_cluster();
+
+/// A cluster of DGX-A100 nodes connected by HDR InfiniBand (200 Gb/s per
+/// node): the multi-GPU-cluster setting of the paper's future work, and
+/// the regime where CAGNET observed that "none of the proposed algorithms
+/// can achieve speedup beyond a single node".
+MachineProfile dgx_a100_cluster(int nodes);
+
+/// Looks up a machine profile by name ("dgx-v100", "dgx-a100",
+/// "xeon-9242"); throws InvalidArgumentError otherwise.
+MachineProfile machine_by_name(const std::string& name);
+
+/// Profile for simulating a 1/scale structure replica of a workload:
+/// divides the extensive quantities (HBM and L2 capacity, kernel launch
+/// overhead) by `scale` so that every cost-model term is exactly 1/scale of
+/// its full-scale value — `sim_seconds * scale` then reproduces the
+/// full-scale estimate, and OOM appears for exactly the configurations that
+/// would OOM at full scale. `invariant_bytes` is the per-device footprint
+/// that does NOT shrink with the graph (replicated weights + optimizer
+/// state); it is charged at its true size.
+MachineProfile scale_profile(MachineProfile profile, double scale,
+                             std::uint64_t invariant_bytes = 0);
+
+}  // namespace mggcn::sim

@@ -1,0 +1,127 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace mggcn::sim {
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kSpMM: return "SpMM";
+    case TaskKind::kGeMM: return "GeMM";
+    case TaskKind::kActivation: return "Activation";
+    case TaskKind::kLoss: return "Loss-Layer";
+    case TaskKind::kOptimizer: return "Adam";
+    case TaskKind::kComm: return "Comm";
+    case TaskKind::kMemory: return "Memory";
+    case TaskKind::kOther: return "Other";
+  }
+  return "?";
+}
+
+void Trace::record(TraceRecord rec) {
+  std::lock_guard lock(mutex_);
+  records_.push_back(std::move(rec));
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+std::vector<TraceRecord> Trace::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::map<TaskKind, double> Trace::busy_by_kind(double since) const {
+  std::lock_guard lock(mutex_);
+  std::map<TaskKind, double> out;
+  for (const auto& rec : records_) {
+    if (rec.t_begin < since) continue;
+    out[rec.kind] += rec.duration();
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Trace::device_records(int device, double since) const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceRecord> out;
+  for (const auto& rec : records_) {
+    if (rec.device == device && rec.t_begin >= since) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.t_begin < b.t_begin;
+  });
+  return out;
+}
+
+void Trace::export_chrome_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return;
+  os << "[\n";
+  bool first = true;
+  for (const auto& rec : records()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << rec.label << "\", \"cat\": \""
+       << task_kind_name(rec.kind) << "\", \"ph\": \"X\", \"pid\": "
+       << rec.device << ", \"tid\": " << rec.stream << ", \"ts\": "
+       << rec.t_begin * 1e6 << ", \"dur\": " << rec.duration() * 1e6;
+    if (rec.stage >= 0) {
+      os << ", \"args\": {\"stage\": " << rec.stage << '}';
+    }
+    os << '}';
+  }
+  os << "\n]\n";
+}
+
+std::string Trace::render_timeline(double t0, double t1, int width) const {
+  std::vector<TraceRecord> recs = records();
+  std::sort(recs.begin(), recs.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.device, a.stream, a.t_begin) <
+           std::tie(b.device, b.stream, b.t_begin);
+  });
+
+  int max_device = -1;
+  int max_stream = 0;
+  for (const auto& r : recs) {
+    max_device = std::max(max_device, r.device);
+    max_stream = std::max(max_stream, r.stream);
+  }
+  if (max_device < 0 || t1 <= t0) return "(empty trace)\n";
+
+  const double span = t1 - t0;
+  std::ostringstream os;
+  os << "timeline [" << util::format_seconds(t0) << ", "
+     << util::format_seconds(t1) << "], '#'=compute, '='=comm, digits=stage\n";
+  for (int dev = 0; dev <= max_device; ++dev) {
+    for (int stream = 0; stream <= max_stream; ++stream) {
+      std::string row(width, '.');
+      bool any = false;
+      for (const auto& r : recs) {
+        if (r.device != dev || r.stream != stream) continue;
+        if (r.t_end <= t0 || r.t_begin >= t1) continue;
+        any = true;
+        const int b = std::clamp(
+            static_cast<int>((r.t_begin - t0) / span * width), 0, width - 1);
+        const int e = std::clamp(
+            static_cast<int>((r.t_end - t0) / span * width), b + 1, width);
+        const char fill = r.kind == TaskKind::kComm ? '=' : '#';
+        for (int i = b; i < e; ++i) row[i] = fill;
+        if (r.stage >= 0 && r.stage <= 9) {
+          row[b] = static_cast<char>('0' + r.stage);
+        }
+      }
+      if (!any && stream > 0) continue;
+      os << "GPU " << dev << " s" << stream << " |" << row << "|\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mggcn::sim

@@ -1,0 +1,73 @@
+// Execution trace: per-task records on the simulated timeline.
+//
+// Figs. 5 (operation breakdown), 6 and 8 (per-stage comm/comp timelines) are
+// rendered straight from these records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mggcn::sim {
+
+enum class TaskKind {
+  kSpMM,
+  kGeMM,
+  kActivation,
+  kLoss,
+  kOptimizer,
+  kComm,
+  kMemory,  // memsets / copies
+  kOther,
+};
+
+const char* task_kind_name(TaskKind kind);
+
+struct TraceRecord {
+  int device = 0;
+  int stream = 0;
+  TaskKind kind = TaskKind::kOther;
+  std::string label;
+  /// Stage index for staged SpMM (-1 when not applicable).
+  int stage = -1;
+  /// Simulated begin/end in seconds.
+  double t_begin = 0.0;
+  double t_end = 0.0;
+
+  [[nodiscard]] double duration() const { return t_end - t_begin; }
+};
+
+/// Thread-safe append-only trace.
+class Trace {
+ public:
+  void record(TraceRecord rec);
+  void clear();
+
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+
+  /// Total simulated busy time per kind, over records with t_begin >= since.
+  [[nodiscard]] std::map<TaskKind, double> busy_by_kind(
+      double since = 0.0) const;
+
+  /// Records of a single device, sorted by t_begin.
+  [[nodiscard]] std::vector<TraceRecord> device_records(
+      int device, double since = 0.0) const;
+
+  /// Renders an ASCII Gantt chart of [t0, t1] per device, one row per
+  /// (device, stream); used by the Fig. 6 / Fig. 8 benches.
+  [[nodiscard]] std::string render_timeline(double t0, double t1,
+                                            int width = 96) const;
+
+  /// Writes the trace as a Chrome-tracing ("catapult") JSON file; open it
+  /// at chrome://tracing or in Perfetto. Devices map to processes, streams
+  /// to threads, simulated microseconds to timestamps.
+  void export_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mggcn::sim

@@ -1,0 +1,49 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mggcn::sparse {
+
+void Coo::symmetrize() {
+  const std::int64_t original = nnz();
+  reserve(static_cast<std::size_t>(2 * original));
+  for (std::int64_t e = 0; e < original; ++e) {
+    if (row_idx[static_cast<std::size_t>(e)] !=
+        col_idx[static_cast<std::size_t>(e)]) {
+      add(col_idx[static_cast<std::size_t>(e)],
+          row_idx[static_cast<std::size_t>(e)],
+          values[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+void Coo::sort_and_merge() {
+  std::vector<std::size_t> order(static_cast<std::size_t>(nnz()));
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+    return col_idx[a] < col_idx[b];
+  });
+
+  std::vector<std::uint32_t> r;
+  std::vector<std::uint32_t> c;
+  std::vector<float> v;
+  r.reserve(order.size());
+  c.reserve(order.size());
+  v.reserve(order.size());
+  for (std::size_t idx : order) {
+    if (!r.empty() && r.back() == row_idx[idx] && c.back() == col_idx[idx]) {
+      v.back() += values[idx];
+    } else {
+      r.push_back(row_idx[idx]);
+      c.push_back(col_idx[idx]);
+      v.push_back(values[idx]);
+    }
+  }
+  row_idx = std::move(r);
+  col_idx = std::move(c);
+  values = std::move(v);
+}
+
+}  // namespace mggcn::sparse

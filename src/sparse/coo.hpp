@@ -1,0 +1,43 @@
+// Coordinate-format sparse matrix: the assembly format for generators and IO.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mggcn::sparse {
+
+struct Coo {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::uint32_t> row_idx;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+
+  Coo() = default;
+  Coo(std::int64_t rows, std::int64_t cols) : rows(rows), cols(cols) {}
+
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(row_idx.size());
+  }
+
+  void add(std::uint32_t r, std::uint32_t c, float v = 1.0f) {
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    values.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row_idx.reserve(n);
+    col_idx.reserve(n);
+    values.reserve(n);
+  }
+
+  /// Adds the reverse of every edge (undirected graphs store both
+  /// directions, as the GNN benchmark datasets do).
+  void symmetrize();
+
+  /// Sorts by (row, col) and merges duplicates by summation.
+  void sort_and_merge();
+};
+
+}  // namespace mggcn::sparse

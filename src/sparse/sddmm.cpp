@@ -1,0 +1,79 @@
+#include "sparse/sddmm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mggcn::sparse {
+
+Csr sddmm(const Csr& pattern, dense::ConstMatrixView u,
+          dense::ConstMatrixView v) {
+  MGGCN_CHECK_MSG(u.rows == pattern.rows() && v.rows == pattern.cols(),
+                  "sddmm dense factors must cover the pattern");
+  MGGCN_CHECK_MSG(u.cols == v.cols, "sddmm factor widths must agree");
+  const std::int64_t d = u.cols;
+
+  Csr out = pattern;
+  const auto row_ptr = out.row_ptr();
+  const auto col_idx = out.col_idx();
+  auto values = out.values_mutable();
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    const float* ur = u.row(r);
+    for (std::int64_t e = row_ptr[static_cast<std::size_t>(r)];
+         e < row_ptr[static_cast<std::size_t>(r) + 1]; ++e) {
+      const float* vc = v.row(col_idx[static_cast<std::size_t>(e)]);
+      float dot = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j) {
+        dot += ur[j] * vc[j];
+      }
+      values[static_cast<std::size_t>(e)] *= dot;
+    }
+  }
+  return out;
+}
+
+void edge_softmax(Csr& matrix) {
+  const auto row_ptr = matrix.row_ptr();
+  auto values = matrix.values_mutable();
+  for (std::int64_t r = 0; r < matrix.rows(); ++r) {
+    const auto begin = static_cast<std::size_t>(
+        row_ptr[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(
+        row_ptr[static_cast<std::size_t>(r) + 1]);
+    if (begin == end) continue;
+
+    float max_value = values[begin];
+    for (std::size_t e = begin + 1; e < end; ++e) {
+      max_value = std::max(max_value, values[e]);
+    }
+    double denom = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      denom += std::exp(static_cast<double>(values[e] - max_value));
+    }
+    for (std::size_t e = begin; e < end; ++e) {
+      values[e] = static_cast<float>(
+          std::exp(static_cast<double>(values[e] - max_value)) / denom);
+    }
+  }
+}
+
+void leaky_relu_values(Csr& matrix, float negative_slope) {
+  for (auto& value : matrix.values_mutable()) {
+    if (value < 0.0f) value *= negative_slope;
+  }
+}
+
+sim::KernelCost sddmm_cost(std::int64_t nnz, std::int64_t rows,
+                           std::int64_t cols, std::int64_t d) {
+  sim::KernelCost cost;
+  cost.stream_bytes = 8.0 * static_cast<double>(nnz) +   // indices + values
+                      8.0 * static_cast<double>(rows);   // row offsets
+  cost.gather_bytes = 8.0 * static_cast<double>(nnz) * d;  // U and V rows
+  cost.gather_working_set =
+      4.0 * static_cast<double>(rows + cols) * static_cast<double>(d);
+  cost.flops = 2.0 * static_cast<double>(nnz) * d;
+  cost.launches = 1;
+  return cost;
+}
+
+}  // namespace mggcn::sparse

@@ -1,0 +1,36 @@
+// Sampled Dense-Dense Matrix Multiplication and edge softmax — the kernels
+// the paper names as future work for supporting Graph Attention Networks
+// ("accelerate the SDDMM kernel to enable parallel training of several
+// other models such as Graph Attention Networks", §7).
+//
+// SDDMM computes, for every nonzero (r, c) of a sparsity pattern A,
+//     out(r, c) = A(r, c) * <U_r, V_c>
+// i.e. a dense product sampled at the graph's edges — the score
+// computation of dot-product attention. edge_softmax then normalizes the
+// scores per row, producing the attention operator that an SpMM applies.
+#pragma once
+
+#include "dense/matrix.hpp"
+#include "sim/cost_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::sparse {
+
+/// Returns a matrix with `pattern`'s sparsity whose value at (r, c) is
+/// pattern(r, c) * dot(U row r, V row c). U is (rows x d), V is (cols x d).
+[[nodiscard]] Csr sddmm(const Csr& pattern, dense::ConstMatrixView u,
+                        dense::ConstMatrixView v);
+
+/// In-place row-wise softmax over the values (attention normalization).
+/// Rows without nonzeros are left untouched.
+void edge_softmax(Csr& matrix);
+
+/// In-place LeakyReLU over the values (GAT's score nonlinearity).
+void leaky_relu_values(Csr& matrix, float negative_slope = 0.2f);
+
+/// Cost of one SDDMM launch: two dense rows gathered per nonzero plus the
+/// value write.
+[[nodiscard]] sim::KernelCost sddmm_cost(std::int64_t nnz, std::int64_t rows,
+                                         std::int64_t cols, std::int64_t d);
+
+}  // namespace mggcn::sparse

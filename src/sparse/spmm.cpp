@@ -1,0 +1,58 @@
+#include "sparse/spmm.hpp"
+
+#include "util/error.hpp"
+
+namespace mggcn::sparse {
+
+void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
+          float alpha, float beta) {
+  MGGCN_CHECK_MSG(a.cols() == b.rows, "spmm inner dimensions must agree");
+  MGGCN_CHECK_MSG(a.rows() == c.rows && b.cols == c.cols,
+                  "spmm output shape mismatch");
+  const std::int64_t d = b.cols;
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float* out = c.row(r);
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < d; ++j) out[j] *= beta;
+    }
+    for (std::int64_t e = row_ptr[static_cast<std::size_t>(r)];
+         e < row_ptr[static_cast<std::size_t>(r) + 1]; ++e) {
+      const float w = alpha * values[static_cast<std::size_t>(e)];
+      const float* src = b.row(col_idx[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < d; ++j) {
+        out[j] += w * src[j];
+      }
+    }
+  }
+}
+
+sim::KernelCost spmm_cost(std::int64_t nnz, std::int64_t out_rows,
+                          std::int64_t src_rows, std::int64_t d) {
+  sim::KernelCost cost;
+  // CSR structure: 4B column index + 4B value per nonzero, 8B per row offset.
+  cost.stream_bytes = 8.0 * static_cast<double>(nnz) +
+                      8.0 * static_cast<double>(out_rows) +
+                      // output rows written (and read for the += update).
+                      8.0 * static_cast<double>(out_rows) *
+                          static_cast<double>(d);
+  // Feature rows gathered at random from the source tile.
+  cost.gather_bytes =
+      4.0 * static_cast<double>(nnz) * static_cast<double>(d);
+  cost.gather_working_set =
+      4.0 * static_cast<double>(src_rows) * static_cast<double>(d);
+  cost.flops = 2.0 * static_cast<double>(nnz) * static_cast<double>(d);
+  cost.launches = 1;
+  return cost;
+}
+
+sim::KernelCost spmm_cost(const Csr& a, std::int64_t d) {
+  return spmm_cost(a.nnz(), a.rows(), a.cols(), d);
+}
+
+}  // namespace mggcn::sparse

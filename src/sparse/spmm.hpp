@@ -1,0 +1,26 @@
+// Sparse-matrix x dense-matrix multiplication (the paper's dominant kernel,
+// 60-94% of GCN runtime per Fig. 5) and its cost descriptor.
+#pragma once
+
+#include "dense/matrix.hpp"
+#include "sim/cost_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::sparse {
+
+/// C = alpha * A * B + beta * C, with A in CSR (m x k), B (k x d), C (m x d).
+void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// Cost of one SpMM launch. `src_rows` is the number of B rows the tile can
+/// touch (the tile width): it bounds the gather working set, which is what
+/// gives narrower tiles better cache reuse (the paper's super-linear
+/// speedups, §6.4).
+[[nodiscard]] sim::KernelCost spmm_cost(std::int64_t nnz,
+                                        std::int64_t out_rows,
+                                        std::int64_t src_rows, std::int64_t d);
+
+/// Convenience overload from a concrete tile.
+[[nodiscard]] sim::KernelCost spmm_cost(const Csr& a, std::int64_t d);
+
+}  // namespace mggcn::sparse

@@ -1,0 +1,59 @@
+// Unbounded MPMC blocking queue used by the simulated-device stream workers.
+//
+// close() wakes all waiters; pop() then drains remaining items before
+// reporting closure, so a stream worker always executes every task enqueued
+// before shutdown (matching cudaStreamSynchronize-then-destroy semantics).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace mggcn::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues an item; returns false if the queue is already closed.
+  bool push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mggcn::util

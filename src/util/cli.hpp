@@ -1,0 +1,57 @@
+// Tiny command-line option parser for benches and examples.
+//
+// Supports "--name value", "--name=value", and boolean "--flag". Unknown
+// options throw so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mggcn::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registers an option with a default value; returns *this for chaining.
+  CliParser& option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  CliParser& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws InvalidArgumentError on unknown options or missing
+  /// values. Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string help() const;
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "--gpus 1,2,4,8".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
+  /// Comma-separated string list.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& name) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+};
+
+}  // namespace mggcn::util

@@ -1,0 +1,61 @@
+// Error handling primitives shared by every mggcn module.
+//
+// We prefer exceptions carrying formatted context over abort() so that the
+// simulated-device runtime can surface out-of-memory and misuse conditions
+// to the benchmark harnesses (which render them as "Out of Memory" table
+// cells, exactly like the paper's figures do).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mggcn {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulated device allocation exceeds its memory capacity.
+/// Benchmarks catch this to emit the paper's "Out of Memory" cells.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on precondition violations (bad shapes, invalid ranks, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mggcn
+
+/// Precondition check that throws InvalidArgumentError with location info.
+/// Usage: MGGCN_CHECK(a.cols() == b.rows()) << optional stream message is not
+/// supported; pass a message string instead: MGGCN_CHECK_MSG(cond, "...").
+#define MGGCN_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::mggcn::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MGGCN_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::mggcn::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,54 @@
+// Human-readable formatting helpers used by benches and logs.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace mggcn::util {
+
+/// "1.50 GiB", "512.00 MiB", ...
+inline std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(unit == 0 ? 0 : 2) << value << ' '
+     << kUnits[unit];
+  return os.str();
+}
+
+/// "12.3 us", "4.56 ms", "1.23 s" from seconds.
+inline std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(seconds < 0 ? 3 : 3);
+  if (seconds < 1e-6) {
+    os << seconds * 1e9 << " ns";
+  } else if (seconds < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds << " s";
+  }
+  return os.str();
+}
+
+/// Fixed-precision double.
+inline std::string format_double(double value, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+/// "1.23x" speedup.
+inline std::string format_speedup(double value) {
+  return format_double(value, 2) + "x";
+}
+
+}  // namespace mggcn::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The simulated runtime is multi-threaded (one worker per device stream), so
+// log emission is serialized through a single mutex; messages are composed
+// off-lock in a stringstream owned by the statement.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mggcn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message);
+
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct NullStatement {
+  template <typename T>
+  NullStatement& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+}  // namespace mggcn::util
+
+#define MGGCN_LOG(level)                                         \
+  if (::mggcn::util::LogLevel::level < ::mggcn::util::log_level()) \
+    ;                                                            \
+  else                                                           \
+    ::mggcn::util::detail::LogStatement(::mggcn::util::LogLevel::level)

@@ -1,0 +1,142 @@
+// Deterministic, seedable random number generation.
+//
+// Everything in the reproduction that involves randomness (graph generation,
+// feature synthesis, vertex permutation, weight initialization) flows through
+// these generators so that a given seed reproduces a run bit-for-bit across
+// machines — a prerequisite for the regression tests and for comparing the
+// benchmark output against EXPERIMENTS.md.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mggcn::util {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, but we provide the distributions we need
+/// directly to guarantee cross-platform determinism (libstdc++ and libc++
+/// implement std::normal_distribution differently).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    have_gauss_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection to
+  /// avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    MGGCN_CHECK(n > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given seed).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * f;
+    have_gauss_ = true;
+    return u * f;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  template <typename Index = std::uint32_t>
+  std::vector<Index> permutation(std::size_t n) {
+    std::vector<Index> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<Index>(i);
+    shuffle(p);
+    return p;
+  }
+
+  /// Derive an independent child generator (for per-device / per-module
+  /// streams that must not interleave draws).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace mggcn::util

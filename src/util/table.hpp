@@ -1,0 +1,39 @@
+// ASCII table / CSV rendering for the benchmark harnesses.
+//
+// Every bench prints the same rows/series the corresponding paper table or
+// figure reports; this helper keeps those printouts aligned and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mggcn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column-aligned padding and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mggcn::util

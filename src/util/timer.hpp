@@ -1,0 +1,25 @@
+// Wall-clock timer for host-side measurements (test/bench plumbing; the
+// simulated GPU time lives in sim::Device, not here).
+#pragma once
+
+#include <chrono>
+
+namespace mggcn::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mggcn::util

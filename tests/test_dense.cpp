@@ -1,0 +1,185 @@
+// Tests for the dense kernels (the cuBLAS stand-ins): all GeMM variants
+// against a naive reference over parameterized shapes, elementwise ops, the
+// fused masked input-gradient GeMM, and cost descriptors.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dense/kernels.hpp"
+#include "dense/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::dense {
+namespace {
+
+HostMatrix random_matrix(std::int64_t rows, std::int64_t cols,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  HostMatrix m(rows, cols);
+  m.init_gaussian(rng);
+  return m;
+}
+
+/// Unoptimized triple loop, the oracle for every variant.
+HostMatrix naive_gemm(ConstMatrixView a, ConstMatrixView b, bool ta,
+                      bool tb) {
+  const std::int64_t m = ta ? a.cols : a.rows;
+  const std::int64_t k = ta ? a.rows : a.cols;
+  const std::int64_t n = tb ? b.rows : b.cols;
+  HostMatrix c(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<
+                       std::tuple<std::int64_t, std::int64_t, std::int64_t>> {
+};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const HostMatrix a = random_matrix(m, k, 1);
+  const HostMatrix b = random_matrix(k, n, 2);
+  HostMatrix c(m, n);
+  gemm(a.view(), b.view(), c.view());
+  const HostMatrix ref = naive_gemm(a.view(), b.view(), false, false);
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-3);
+}
+
+TEST_P(GemmShapes, TransposedAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const HostMatrix a = random_matrix(k, m, 3);  // participates as A^T
+  const HostMatrix b = random_matrix(k, n, 4);
+  HostMatrix c(m, n);
+  gemm_at_b(a.view(), b.view(), c.view());
+  const HostMatrix ref = naive_gemm(a.view(), b.view(), true, false);
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-3);
+}
+
+TEST_P(GemmShapes, TransposedBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const HostMatrix a = random_matrix(m, k, 5);
+  const HostMatrix b = random_matrix(n, k, 6);  // participates as B^T
+  HostMatrix c(m, n);
+  gemm_a_bt(a.view(), b.view(), c.view());
+  const HostMatrix ref = naive_gemm(a.view(), b.view(), false, true);
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 3, 5),
+                      std::make_tuple(16, 64, 16),
+                      std::make_tuple(33, 17, 65),
+                      std::make_tuple(128, 70, 40)));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const HostMatrix a = random_matrix(8, 8, 7);
+  const HostMatrix b = random_matrix(8, 8, 8);
+  HostMatrix c(8, 8);
+  c.fill(1.0f);
+  gemm(a.view(), b.view(), c.view(), 2.0f, 3.0f);
+  HostMatrix expected = naive_gemm(a.view(), b.view(), false, false);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    expected.data()[i] = 2.0f * expected.data()[i] + 3.0f;
+  }
+  EXPECT_LT(max_abs_diff(c.view(), expected.view()), 1e-3);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  HostMatrix a(4, 5), b(6, 7), c(4, 7);
+  EXPECT_THROW(gemm(a.view(), b.view(), c.view()), InvalidArgumentError);
+}
+
+TEST(Gemm, MaskedFusedVariantEqualsComposition) {
+  const std::int64_t n = 40, d_out = 16, d_in = 24;
+  const HostMatrix z = random_matrix(n, d_out, 9);
+  const HostMatrix w = random_matrix(d_in, d_out, 10);
+  HostMatrix activation = random_matrix(n, d_in, 11);
+
+  // Reference: unfused H_G = Z * W^T then ReLU mask from the activation.
+  HostMatrix unfused(n, d_in);
+  gemm_a_bt(z.view(), w.view(), unfused.view());
+  HostMatrix masked(n, d_in);
+  relu_backward(unfused.data(), activation.data(), masked.data(),
+                unfused.size());
+
+  HostMatrix fused = activation;  // consumed in place
+  gemm_a_bt_relu_masked(z.view(), w.view(), fused.view());
+  EXPECT_LT(max_abs_diff(fused.view(), masked.view()), 1e-4);
+}
+
+TEST(Elementwise, ReluForward) {
+  const float in[] = {-2.0f, 0.0f, 3.5f, -0.1f};
+  float out[4];
+  relu_forward(in, out, 4);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 3.5f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(Elementwise, ReluBackwardMasksByActivation) {
+  const float grad[] = {1.0f, 2.0f, 3.0f};
+  const float act[] = {0.5f, 0.0f, -1.0f};
+  float out[3];
+  relu_backward(grad, act, out, 3);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 0.0f);
+}
+
+TEST(Elementwise, AxpyAndCopyAndFill) {
+  float x[] = {1.0f, 2.0f};
+  float y[] = {10.0f, 20.0f};
+  axpy(x, y, 2, 0.5f);
+  EXPECT_EQ(y[0], 10.5f);
+  EXPECT_EQ(y[1], 21.0f);
+  copy(x, y, 2);
+  EXPECT_EQ(y[1], 2.0f);
+  fill(y, 2, 7.0f);
+  EXPECT_EQ(y[0], 7.0f);
+}
+
+TEST(HostMatrix, GlorotBounds) {
+  util::Rng rng(1);
+  HostMatrix w(64, 32);
+  w.init_glorot(rng);
+  const double limit = std::sqrt(6.0 / (64 + 32));
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    ASSERT_LE(std::abs(w.data()[i]), limit);
+  }
+}
+
+TEST(HostMatrix, RowBlock) {
+  HostMatrix m(4, 2);
+  for (std::int64_t i = 0; i < 8; ++i) m.data()[i] = static_cast<float>(i);
+  const HostMatrix block = m.row_block(1, 3);
+  EXPECT_EQ(block.rows(), 2);
+  EXPECT_EQ(block.at(0, 0), 2.0f);
+  EXPECT_EQ(block.at(1, 1), 5.0f);
+}
+
+TEST(Costs, GemmCostCountsFlopsAndTraffic) {
+  const auto cost = gemm_cost(10, 20, 30);
+  EXPECT_DOUBLE_EQ(cost.flops, 2.0 * 10 * 20 * 30);
+  EXPECT_DOUBLE_EQ(cost.stream_bytes, 4.0 * (10 * 30 + 30 * 20 + 2 * 10 * 20));
+  EXPECT_EQ(cost.launches, 1);
+}
+
+TEST(Costs, ElementwiseCost) {
+  const auto cost = elementwise_cost(100, 2, 1);
+  EXPECT_DOUBLE_EQ(cost.stream_bytes, 4.0 * 100 * 3);
+}
+
+}  // namespace
+}  // namespace mggcn::dense

@@ -1,0 +1,159 @@
+// Math tests for the GCN-specific kernels: the fused softmax cross-entropy
+// gradient against finite differences, accuracy counting, masking, and the
+// Adam update against hand-computed steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gcn_kernels.hpp"
+#include "dense/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::core {
+namespace {
+
+TEST(SoftmaxXent, LossMatchesDirectComputation) {
+  dense::HostMatrix logits(2, 3);
+  const float values[] = {1.0f, 2.0f, 0.5f, 0.0f, 0.0f, 0.0f};
+  std::copy(values, values + 6, logits.data());
+  const std::int32_t labels[] = {1, 2};
+
+  dense::HostMatrix work = logits;
+  const LossResult r = softmax_cross_entropy_inplace(work.view(), labels,
+                                                     nullptr, 2);
+  // Row 0: -log softmax_1; row 1: uniform -> -log(1/3).
+  const double d0 = std::exp(1.0) + std::exp(2.0) + std::exp(0.5);
+  const double expected = -(std::log(std::exp(2.0) / d0)) + std::log(3.0);
+  EXPECT_NEAR(r.loss_sum, expected, 1e-6);
+  EXPECT_EQ(r.counted, 2);
+  EXPECT_EQ(r.correct, 1);  // row 0 argmax == label, row 1 tie -> index 0
+}
+
+TEST(SoftmaxXent, GradientMatchesFiniteDifferences) {
+  util::Rng rng(5);
+  const std::int64_t n = 6, c = 5;
+  dense::HostMatrix logits(n, c);
+  logits.init_gaussian(rng);
+  std::vector<std::int32_t> labels(n);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform_index(c));
+
+  auto loss_at = [&](const dense::HostMatrix& x) {
+    dense::HostMatrix copy = x;
+    return softmax_cross_entropy_inplace(copy.view(), labels.data(), nullptr,
+                                         n)
+        .loss_sum;
+  };
+
+  dense::HostMatrix grad = logits;
+  softmax_cross_entropy_inplace(grad.view(), labels.data(), nullptr, n);
+
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      dense::HostMatrix plus = logits, minus = logits;
+      plus.at(i, j) += static_cast<float>(eps);
+      minus.at(i, j) -= static_cast<float>(eps);
+      // The kernel scales by 1/total_train = 1/n.
+      const double numeric =
+          (loss_at(plus) - loss_at(minus)) / (2.0 * eps) / n;
+      ASSERT_NEAR(grad.at(i, j), numeric, 2e-4)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SoftmaxXent, MaskZeroesGradientAndSkipsLoss) {
+  dense::HostMatrix logits(3, 2);
+  logits.fill(1.0f);
+  const std::int32_t labels[] = {0, 1, 0};
+  const std::uint8_t mask[] = {1, 0, 1};
+  const LossResult r =
+      softmax_cross_entropy_inplace(logits.view(), labels, mask, 2);
+  EXPECT_EQ(r.counted, 2);
+  // Masked row's gradient is zeroed.
+  EXPECT_EQ(logits.at(1, 0), 0.0f);
+  EXPECT_EQ(logits.at(1, 1), 0.0f);
+  // Unmasked rows' gradients sum to zero across classes.
+  EXPECT_NEAR(logits.at(0, 0) + logits.at(0, 1), 0.0f, 1e-6);
+}
+
+TEST(SoftmaxXent, GradientRowsSumToZero) {
+  util::Rng rng(6);
+  dense::HostMatrix logits(10, 7);
+  logits.init_gaussian(rng);
+  std::vector<std::int32_t> labels(10, 3);
+  softmax_cross_entropy_inplace(logits.view(), labels.data(), nullptr, 10);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < 7; ++j) row_sum += logits.at(i, j);
+    ASSERT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(EvaluateAccuracy, CountsArgmaxMatches) {
+  dense::HostMatrix logits(3, 3);
+  logits.fill(0.0f);
+  logits.at(0, 2) = 5.0f;
+  logits.at(1, 1) = 5.0f;
+  logits.at(2, 0) = 5.0f;
+  const std::int32_t labels[] = {2, 0, 0};
+  const LossResult r = evaluate_accuracy(logits.view(), labels, nullptr);
+  EXPECT_EQ(r.counted, 3);
+  EXPECT_EQ(r.correct, 2);
+}
+
+TEST(Adam, FirstStepMovesAgainstGradientSign) {
+  const std::int64_t n = 4;
+  float w[] = {1.0f, 1.0f, 1.0f, 1.0f};
+  const float g[] = {0.5f, -0.5f, 2.0f, 0.0f};
+  float m[4] = {}, v[4] = {};
+  adam_update(w, g, m, v, n, /*step=*/1, 0.1, 0.9, 0.999, 1e-8);
+  // With bias correction, the first step is ~lr * sign(g).
+  EXPECT_NEAR(w[0], 1.0f - 0.1f, 1e-3);
+  EXPECT_NEAR(w[1], 1.0f + 0.1f, 1e-3);
+  EXPECT_NEAR(w[2], 1.0f - 0.1f, 1e-3);
+  EXPECT_EQ(w[3], 1.0f);  // zero gradient: no movement
+}
+
+TEST(Adam, MatchesHandComputedSecondStep) {
+  float w = 0.0f, m = 0.0f, v = 0.0f;
+  const float g1 = 1.0f, g2 = 2.0f;
+  const double lr = 0.01, b1 = 0.9, b2 = 0.999, eps = 1e-8;
+
+  adam_update(&w, &g1, &m, &v, 1, 1, lr, b1, b2, eps);
+  adam_update(&w, &g2, &m, &v, 1, 2, lr, b1, b2, eps);
+
+  // Hand recomputation.
+  double hm = 0.0, hv = 0.0, hw = 0.0;
+  for (int step = 1; step <= 2; ++step) {
+    const double g = step == 1 ? 1.0 : 2.0;
+    hm = b1 * hm + (1 - b1) * g;
+    hv = b2 * hv + (1 - b2) * g * g;
+    const double mh = hm / (1 - std::pow(b1, step));
+    const double vh = hv / (1 - std::pow(b2, step));
+    hw -= lr * mh / (std::sqrt(vh) + eps);
+  }
+  EXPECT_NEAR(w, hw, 1e-6);
+}
+
+TEST(Adam, StateAccumulatesAcrossSteps) {
+  float w = 1.0f, m = 0.0f, v = 0.0f;
+  const float g = 1.0f;
+  for (int step = 1; step <= 50; ++step) {
+    adam_update(&w, &g, &m, &v, 1, step, 0.01, 0.9, 0.999, 1e-8);
+  }
+  // Constant gradient 1: each step moves ~lr, so after 50 steps w ~ 0.5.
+  EXPECT_NEAR(w, 1.0f - 0.5f, 0.05f);
+  EXPECT_GT(m, 0.9f);
+}
+
+TEST(Costs, LossAndAdamDescriptors) {
+  const auto lc = loss_cost(100, 10);
+  EXPECT_GT(lc.stream_bytes, 0.0);
+  EXPECT_GT(lc.flops, 0.0);
+  const auto ac = adam_cost(1000);
+  EXPECT_DOUBLE_EQ(ac.stream_bytes, 4.0 * 1000 * 7.0);
+}
+
+}  // namespace
+}  // namespace mggcn::core

@@ -1,0 +1,196 @@
+// Tests for the graph substrate: generators (degree targets, symmetry,
+// determinism, communities) and the Table 1 dataset replicas.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::graph {
+namespace {
+
+void expect_symmetric_no_self_loops(const sparse::Coo& coo) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::int64_t e = 0; e < coo.nnz(); ++e) {
+    const auto u = coo.row_idx[static_cast<std::size_t>(e)];
+    const auto v = coo.col_idx[static_cast<std::size_t>(e)];
+    ASSERT_NE(u, v) << "self loop";
+    edges.emplace(u, v);
+  }
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(edges.count({v, u})) << "missing reverse of " << u << "->"
+                                     << v;
+  }
+}
+
+TEST(ErdosRenyi, HitsTargetDegree) {
+  util::Rng rng(1);
+  const sparse::Coo coo = erdos_renyi(4000, 10.0, rng);
+  const double k = average_degree(coo);
+  EXPECT_NEAR(k, 10.0, 1.0);
+  expect_symmetric_no_self_loops(coo);
+}
+
+TEST(Rmat, ProducesSkewedSymmetricGraph) {
+  util::Rng rng(2);
+  const sparse::Coo coo = rmat(1 << 12, 40000, 0.57, 0.19, 0.19, rng);
+  EXPECT_GT(coo.nnz(), 30000);
+  expect_symmetric_no_self_loops(coo);
+
+  // Skew: the max degree far exceeds the average.
+  const sparse::Csr csr = sparse::Csr::from_coo(coo);
+  std::int64_t max_deg = 0;
+  for (std::int64_t v = 0; v < csr.rows(); ++v) {
+    max_deg = std::max(max_deg, csr.row_nnz(v));
+  }
+  EXPECT_GT(max_deg, 5 * static_cast<std::int64_t>(average_degree(coo)));
+}
+
+class BterDegrees : public ::testing::TestWithParam<double> {};
+
+TEST_P(BterDegrees, HitsTargetAverageDegree) {
+  util::Rng rng(3);
+  BterParams params{.n = 3000, .avg_degree = GetParam(),
+                    .degree_sigma = 1.0, .clustering = 0.5};
+  const BterGraph g = bter_like(params, rng);
+  const double k = average_degree(g.edges);
+  // BTER's two phases overshoot slightly; within 50% is fine for replicas.
+  EXPECT_GT(k, GetParam() * 0.7);
+  EXPECT_LT(k, GetParam() * 1.8);
+  expect_symmetric_no_self_loops(g.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BterDegrees,
+                         ::testing::Values(3.0, 8.0, 24.0, 64.0));
+
+TEST(Bter, DeterministicGivenSeed) {
+  BterParams params{.n = 500, .avg_degree = 8.0, .degree_sigma = 1.0,
+                    .clustering = 0.5};
+  util::Rng rng1(7), rng2(7);
+  const BterGraph a = bter_like(params, rng1);
+  const BterGraph b = bter_like(params, rng2);
+  EXPECT_EQ(a.edges.row_idx, b.edges.row_idx);
+  EXPECT_EQ(a.edges.col_idx, b.edges.col_idx);
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(Bter, EveryVertexHasAnEdge) {
+  util::Rng rng(11);
+  BterParams params{.n = 2000, .avg_degree = 2.0, .degree_sigma = 1.5,
+                    .clustering = 0.2};
+  const BterGraph g = bter_like(params, rng);
+  const sparse::Csr csr = sparse::Csr::from_coo(g.edges);
+  for (std::int64_t v = 0; v < csr.rows(); ++v) {
+    ASSERT_GE(csr.row_nnz(v), 1) << "isolated vertex " << v;
+  }
+}
+
+TEST(Bter, CommunitiesAreContiguousBlocks) {
+  util::Rng rng(13);
+  BterParams params{.n = 1000, .avg_degree = 10.0, .degree_sigma = 1.0,
+                    .clustering = 0.5};
+  const BterGraph g = bter_like(params, rng);
+  // Each community id must appear as one contiguous run of vertices.
+  std::set<std::uint32_t> closed;
+  std::uint32_t current = g.community[0];
+  for (const std::uint32_t c : g.community) {
+    if (c != current) {
+      ASSERT_FALSE(closed.count(c)) << "community " << c << " reappears";
+      closed.insert(current);
+      current = c;
+    }
+  }
+}
+
+TEST(Datasets, Table1Parameters) {
+  EXPECT_EQ(reddit().n, 233'000);
+  EXPECT_EQ(reddit().feature_dim, 602);
+  EXPECT_EQ(reddit().num_classes, 41);
+  EXPECT_NEAR(reddit().avg_degree, 492.0, 1.0);
+  EXPECT_EQ(papers().n, 111'000'000);
+  EXPECT_EQ(products().num_classes, 47);
+  EXPECT_EQ(proteins().num_classes, 256);
+  EXPECT_EQ(cora().feature_dim, 3703);
+  EXPECT_EQ(arxiv().num_classes, 40);
+  EXPECT_EQ(all_datasets().size(), 6u);
+}
+
+TEST(Datasets, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(dataset_by_name("reddit").name, "Reddit");
+  EXPECT_EQ(dataset_by_name("PRODUCTS").name, "Products");
+  EXPECT_THROW(dataset_by_name("imagenet"), InvalidArgumentError);
+}
+
+TEST(Datasets, ReplicaRespectsScaleAndDegree) {
+  DatasetOptions options;
+  options.scale = 16.0;
+  const Dataset ds = make_dataset(arxiv(), options);
+  EXPECT_NEAR(static_cast<double>(ds.n()), 169'000.0 / 16.0, 100.0);
+  EXPECT_NEAR(ds.scale, 16.0, 0.5);
+  const double k = static_cast<double>(ds.nnz()) / ds.n();
+  EXPECT_GT(k, arxiv().avg_degree * 0.7);
+  EXPECT_LT(k, arxiv().avg_degree * 1.8);
+}
+
+TEST(Datasets, FeaturesLabelsAndSplits) {
+  DatasetOptions options;
+  options.scale = 64.0;
+  const Dataset ds = make_dataset(arxiv(), options);
+  ASSERT_TRUE(ds.has_features());
+  EXPECT_EQ(ds.features.rows(), ds.n());
+  EXPECT_EQ(ds.features.cols(), 128);
+  ASSERT_EQ(ds.labels.size(), static_cast<std::size_t>(ds.n()));
+  for (const auto label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 40);
+  }
+  // Splits partition the vertex set.
+  for (std::int64_t v = 0; v < ds.n(); ++v) {
+    const int sum = ds.train_mask[static_cast<std::size_t>(v)] +
+                    ds.val_mask[static_cast<std::size_t>(v)] +
+                    ds.test_mask[static_cast<std::size_t>(v)];
+    ASSERT_EQ(sum, 1);
+  }
+}
+
+TEST(Datasets, StructureOnlyHasNoFeatures) {
+  DatasetOptions options;
+  options.scale = 64.0;
+  options.with_features = false;
+  const Dataset ds = make_dataset(arxiv(), options);
+  EXPECT_FALSE(ds.has_features());
+  EXPECT_TRUE(ds.labels.empty());
+}
+
+TEST(Datasets, ScaledArxivSpecGrowsDegree) {
+  const DatasetSpec x8 = scaled_arxiv_spec(8.0);
+  EXPECT_NEAR(x8.avg_degree, 56.0, 1e-9);
+  EXPECT_EQ(x8.feature_dim, 512);
+  EXPECT_EQ(x8.num_classes, 40);
+  EXPECT_EQ(x8.name, "Arxiv-x8");
+}
+
+TEST(Datasets, HomophilyFromCommunities) {
+  // Edges should connect same-label vertices more often than chance — the
+  // property that makes the replicas learnable by a GCN.
+  DatasetOptions options;
+  options.scale = 32.0;
+  const Dataset ds = make_dataset(arxiv(), options);
+  const auto row_ptr = ds.adjacency.row_ptr();
+  const auto col_idx = ds.adjacency.col_idx();
+  std::int64_t same = 0, total = 0;
+  for (std::int64_t u = 0; u < ds.n(); ++u) {
+    for (std::int64_t e = row_ptr[static_cast<std::size_t>(u)];
+         e < row_ptr[static_cast<std::size_t>(u) + 1]; ++e) {
+      const auto v = col_idx[static_cast<std::size_t>(e)];
+      same += ds.labels[static_cast<std::size_t>(u)] ==
+              ds.labels[static_cast<std::size_t>(v)];
+      ++total;
+    }
+  }
+  const double homophily = static_cast<double>(same) / total;
+  EXPECT_GT(homophily, 2.0 / 40.0);  // far above the 1/classes baseline
+}
+
+}  // namespace
+}  // namespace mggcn::graph

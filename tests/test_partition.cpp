@@ -1,0 +1,152 @@
+// Tests for partition vectors (eqs. (13)-(15)) and the symmetric tile grid
+// used by the 1D distribution, including the §5.2 load-balance property.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/partition.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::core {
+namespace {
+
+class UniformPartition
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(UniformPartition, CoversRangeWithBalancedParts) {
+  const auto [n, parts] = GetParam();
+  const PartitionVector p = PartitionVector::uniform(n, parts);
+  EXPECT_EQ(p.parts(), parts);
+  EXPECT_EQ(p.total(), n);
+  EXPECT_EQ(p.begin(0), 0);
+  std::int64_t covered = 0;
+  for (int i = 0; i < parts; ++i) {
+    EXPECT_LE(p.begin(i), p.end(i));
+    covered += p.size(i);
+    // Uniform: sizes differ by at most one.
+    EXPECT_LE(p.max_part_size() - p.size(i), 1);
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST_P(UniformPartition, PartOfIsConsistent) {
+  const auto [n, parts] = GetParam();
+  if (n == 0) return;
+  const PartitionVector p = PartitionVector::uniform(n, parts);
+  for (std::int64_t v = 0; v < n; v += std::max<std::int64_t>(1, n / 97)) {
+    const int owner = p.part_of(v);
+    EXPECT_GE(v, p.begin(owner));
+    EXPECT_LT(v, p.end(owner));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, UniformPartition,
+    ::testing::Values(std::make_tuple(std::int64_t{1}, 1),
+                      std::make_tuple(std::int64_t{10}, 3),
+                      std::make_tuple(std::int64_t{100}, 8),
+                      std::make_tuple(std::int64_t{7}, 8),
+                      std::make_tuple(std::int64_t{1000003}, 8)));
+
+TEST(PartitionVector, RejectsBadOffsets) {
+  EXPECT_THROW(PartitionVector({0}), InvalidArgumentError);
+  EXPECT_THROW(PartitionVector({1, 5}), InvalidArgumentError);
+  EXPECT_THROW(PartitionVector({0, 5, 3}), InvalidArgumentError);
+}
+
+TEST(BalancedNnz, CutsEqualizeRowNnz) {
+  util::Rng rng(9);
+  graph::BterParams params{.n = 2000, .avg_degree = 24.0,
+                           .degree_sigma = 1.3, .clustering = 0.5};
+  const sparse::Csr a =
+      sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
+  const PartitionVector p = PartitionVector::balanced_nnz(a, 8);
+  EXPECT_EQ(p.parts(), 8);
+  EXPECT_EQ(p.total(), a.rows());
+
+  const auto row_ptr = a.row_ptr();
+  std::int64_t worst = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t nnz = row_ptr[static_cast<std::size_t>(p.end(i))] -
+                             row_ptr[static_cast<std::size_t>(p.begin(i))];
+    worst = std::max(worst, nnz);
+  }
+  // Row-nnz imbalance well below the uniform partition's on this skewed
+  // ordering.
+  const double balanced_ratio =
+      static_cast<double>(worst) / (static_cast<double>(a.nnz()) / 8.0);
+  const TileGrid uniform_grid =
+      make_tile_grid(a, PartitionVector::uniform(a.rows(), 8));
+  EXPECT_LT(balanced_ratio, uniform_grid.imbalance());
+  EXPECT_LT(balanced_ratio, 1.35);
+}
+
+TEST(BalancedNnz, DegenerateGraphsStillCoverAllRows) {
+  const sparse::Csr eye = sparse::Csr::identity(10);
+  const PartitionVector p = PartitionVector::balanced_nnz(eye, 4);
+  EXPECT_EQ(p.total(), 10);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(p.size(i), 1);
+}
+
+TEST(TileGrid, PartitionsNnzExactly) {
+  util::Rng rng(1);
+  graph::BterParams params{.n = 600, .avg_degree = 12.0,
+                           .degree_sigma = 1.0, .clustering = 0.5};
+  const sparse::Csr a =
+      sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
+  const TileGrid grid =
+      make_tile_grid(a, PartitionVector::uniform(a.rows(), 4));
+
+  std::int64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const auto& tile = grid.tile(i, j);
+      EXPECT_EQ(tile.rows(), grid.partition.size(i));
+      EXPECT_EQ(tile.cols(), grid.partition.size(j));
+      total += tile.nnz();
+    }
+  }
+  EXPECT_EQ(total, a.nnz());
+  EXPECT_GE(grid.imbalance(), 1.0);
+}
+
+TEST(TileGrid, RandomPermutationImprovesBalance) {
+  // §5.2's central claim: on a skewed "natural" ordering, uniform 1D tiles
+  // are imbalanced; a random vertex permutation fixes it.
+  util::Rng rng(2);
+  graph::BterParams params{.n = 4000, .avg_degree = 30.0,
+                           .degree_sigma = 1.3, .clustering = 0.5};
+  const sparse::Csr natural =
+      sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
+  const auto perm = rng.permutation<std::uint32_t>(
+      static_cast<std::size_t>(natural.rows()));
+  const sparse::Csr permuted = natural.permute_symmetric(perm);
+
+  const PartitionVector p = PartitionVector::uniform(natural.rows(), 8);
+  const double imbalance_natural = make_tile_grid(natural, p).imbalance();
+  const double imbalance_permuted = make_tile_grid(permuted, p).imbalance();
+  EXPECT_GT(imbalance_natural, 1.15);
+  EXPECT_LT(imbalance_permuted, imbalance_natural);
+  EXPECT_LT(imbalance_permuted, 1.15);
+}
+
+TEST(TileGrid, RowNnzSumsTileRow) {
+  util::Rng rng(3);
+  const sparse::Coo coo = graph::erdos_renyi(200, 8.0, rng);
+  const sparse::Csr a = sparse::Csr::from_coo(coo);
+  const TileGrid grid =
+      make_tile_grid(a, PartitionVector::uniform(a.rows(), 2));
+  EXPECT_EQ(grid.row_nnz(0) + grid.row_nnz(1), a.nnz());
+}
+
+TEST(TileGrid, RequiresSquareMatrix) {
+  sparse::Coo coo(4, 5);
+  coo.add(0, 1);
+  const sparse::Csr a = sparse::Csr::from_coo(coo);
+  EXPECT_THROW(make_tile_grid(a, PartitionVector::uniform(4, 2)),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mggcn::core

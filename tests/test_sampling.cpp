@@ -1,0 +1,114 @@
+// Tests for the neighbor sampler and the §1 neighborhood-explosion
+// statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::graph {
+namespace {
+
+sparse::Csr dense_community_graph(std::int64_t n, double degree,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  BterParams params{.n = n, .avg_degree = degree, .degree_sigma = 1.0,
+                    .clustering = 0.5};
+  return sparse::Csr::from_coo(bter_like(params, rng).edges);
+}
+
+TEST(NeighborSampler, RespectsFanoutCap) {
+  const sparse::Csr adj = dense_community_graph(500, 20.0, 1);
+  const NeighborSampler sampler(adj, {4});
+  util::Rng rng(2);
+  const auto seeds = sampler.random_batch(16, rng);
+  const SampledSubgraph sub = sampler.sample(seeds, rng);
+  ASSERT_EQ(sub.hops(), 1);
+  // Every seed contributes at most 4 sampled edges.
+  EXPECT_LE(sub.edges_per_hop[0], 4 * static_cast<std::int64_t>(seeds.size()));
+  EXPECT_GT(sub.edges_per_hop[0], 0);
+}
+
+TEST(NeighborSampler, UncappedHopTakesAllNeighbors) {
+  const sparse::Csr adj = dense_community_graph(300, 8.0, 3);
+  const NeighborSampler sampler(adj, {0});  // 0 = no cap
+  util::Rng rng(4);
+  const std::vector<std::uint32_t> seeds = {7};
+  const SampledSubgraph sub = sampler.sample(seeds, rng);
+  EXPECT_EQ(sub.edges_per_hop[0], adj.row_nnz(7));
+  EXPECT_EQ(static_cast<std::int64_t>(sub.layers[1].size()),
+            adj.row_nnz(7));
+}
+
+TEST(NeighborSampler, LayersAreDeduplicatedAndSorted) {
+  const sparse::Csr adj = dense_community_graph(400, 12.0, 5);
+  const NeighborSampler sampler(adj, {6, 6});
+  util::Rng rng(6);
+  const SampledSubgraph sub =
+      sampler.sample(sampler.random_batch(20, rng), rng);
+  for (const auto& layer : sub.layers) {
+    std::set<std::uint32_t> unique(layer.begin(), layer.end());
+    EXPECT_EQ(unique.size(), layer.size());
+    EXPECT_TRUE(std::is_sorted(layer.begin(), layer.end()));
+  }
+}
+
+TEST(NeighborSampler, DeterministicGivenSeed) {
+  const sparse::Csr adj = dense_community_graph(400, 12.0, 7);
+  const NeighborSampler sampler(adj, {5, 5});
+  util::Rng rng1(8), rng2(8);
+  const auto a = sampler.sample(sampler.random_batch(10, rng1), rng1);
+  const auto b = sampler.sample(sampler.random_batch(10, rng2), rng2);
+  EXPECT_EQ(a.layers, b.layers);
+  EXPECT_EQ(a.edges_per_hop, b.edges_per_hop);
+}
+
+TEST(NeighborSampler, RandomBatchIsDistinct) {
+  const sparse::Csr adj = dense_community_graph(200, 6.0, 9);
+  const NeighborSampler sampler(adj, {3});
+  util::Rng rng(10);
+  const auto batch = sampler.random_batch(50, rng);
+  std::set<std::uint32_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Explosion, FrontierGrowsWithHops) {
+  const sparse::Csr adj = dense_community_graph(2000, 30.0, 11);
+  const NeighborSampler sampler(adj, {10, 10, 10});
+  util::Rng rng(12);
+  const SampledSubgraph sub =
+      sampler.sample(sampler.random_batch(8, rng), rng);
+  // Each hop's frontier should outgrow the previous one until saturation.
+  EXPECT_GT(sub.layers[1].size(), sub.layers[0].size());
+  EXPECT_GT(sub.layers[2].size(), sub.layers[1].size());
+}
+
+TEST(Explosion, WorkMultiplierGrowsWithDepth) {
+  // The §1 claim: the per-epoch work of mini-batch training grows rapidly
+  // with the number of hops, while full-batch work is constant per layer.
+  const sparse::Csr adj = dense_community_graph(3000, 25.0, 13);
+  util::Rng rng(14);
+  const ExplosionStats one_hop =
+      measure_neighborhood_explosion(adj, {10}, 32, 5, rng);
+  const ExplosionStats three_hops =
+      measure_neighborhood_explosion(adj, {10, 10, 10}, 32, 5, rng);
+  EXPECT_GT(three_hops.mean_vertices, 3.0 * one_hop.mean_vertices);
+  EXPECT_GT(three_hops.epoch_work_multiplier,
+            one_hop.epoch_work_multiplier);
+}
+
+TEST(Explosion, SmallBatchesAreRedundantWork) {
+  // With small batches and multiple hops, the summed mini-batch work per
+  // epoch exceeds the full-batch epoch — the paper's argument for
+  // full-batch multi-GPU training.
+  const sparse::Csr adj = dense_community_graph(3000, 25.0, 15);
+  util::Rng rng(16);
+  const ExplosionStats stats =
+      measure_neighborhood_explosion(adj, {15, 15, 15}, 16, 5, rng);
+  EXPECT_GT(stats.epoch_work_multiplier, 1.0);
+}
+
+}  // namespace
+}  // namespace mggcn::graph

@@ -1,0 +1,213 @@
+// Unit tests for the util substrate: deterministic RNG, CLI parsing,
+// tables, formatting, and the blocking queue the stream workers use.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/blocking_queue.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mggcn::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(9);
+  for (const std::uint64_t n : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_index(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(3);
+  const auto p = rng.permutation<std::uint32_t>(1000);
+  std::vector<bool> seen(1000, false);
+  for (const auto v : p) {
+    ASSERT_LT(v, 1000u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(42);
+  Rng child = a.fork();
+  // Child draws must not equal parent draws shifted trivially.
+  EXPECT_NE(a(), child());
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("test");
+  cli.option("alpha", "1", "a").option("name", "x", "n").flag("verbose", "v");
+  const char* argv[] = {"prog", "--alpha", "42", "--verbose",
+                        "--name=hello"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.get_int("alpha"), 42);
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("test");
+  cli.option("x", "7", "x");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("x"), 7);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), InvalidArgumentError);
+}
+
+TEST(Cli, IntListParsing) {
+  CliParser cli("test");
+  cli.option("gpus", "1,2,4,8", "g");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int_list("gpus"),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_FALSE(cli.help().empty());
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a  | bbbb |"), std::string::npos);
+  EXPECT_NE(s.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3ULL << 30), "3.00 GiB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(Format, Speedup) { EXPECT_EQ(format_speedup(1.5), "1.50x"); }
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, CrossThreadHandoff) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(Error, CheckMacroThrowsWithLocation) {
+  try {
+    MGGCN_CHECK_MSG(false, "context");
+    FAIL();
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mggcn::util
