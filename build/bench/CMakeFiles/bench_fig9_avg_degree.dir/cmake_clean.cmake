@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_avg_degree.dir/bench_fig9_avg_degree.cpp.o"
+  "CMakeFiles/bench_fig9_avg_degree.dir/bench_fig9_avg_degree.cpp.o.d"
+  "bench_fig9_avg_degree"
+  "bench_fig9_avg_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_avg_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels.cpp" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o" "gcc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mggcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mggcn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mggcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mggcn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mggcn_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mggcn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mggcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

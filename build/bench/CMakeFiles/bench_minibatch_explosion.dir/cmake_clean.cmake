@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minibatch_explosion.dir/bench_minibatch_explosion.cpp.o"
+  "CMakeFiles/bench_minibatch_explosion.dir/bench_minibatch_explosion.cpp.o.d"
+  "bench_minibatch_explosion"
+  "bench_minibatch_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minibatch_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

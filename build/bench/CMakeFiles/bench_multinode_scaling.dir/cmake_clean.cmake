@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multinode_scaling.dir/bench_multinode_scaling.cpp.o"
+  "CMakeFiles/bench_multinode_scaling.dir/bench_multinode_scaling.cpp.o.d"
+  "bench_multinode_scaling"
+  "bench_multinode_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multinode_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

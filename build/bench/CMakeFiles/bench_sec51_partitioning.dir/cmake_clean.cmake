@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_partitioning.dir/bench_sec51_partitioning.cpp.o"
+  "CMakeFiles/bench_sec51_partitioning.dir/bench_sec51_partitioning.cpp.o.d"
+  "bench_sec51_partitioning"
+  "bench_sec51_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

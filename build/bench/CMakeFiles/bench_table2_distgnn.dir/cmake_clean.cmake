@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_distgnn.dir/bench_table2_distgnn.cpp.o"
+  "CMakeFiles/bench_table2_distgnn.dir/bench_table2_distgnn.cpp.o.d"
+  "bench_table2_distgnn"
+  "bench_table2_distgnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_distgnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_attention.dir/graph_attention.cpp.o"
+  "CMakeFiles/graph_attention.dir/graph_attention.cpp.o.d"
+  "graph_attention"
+  "graph_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

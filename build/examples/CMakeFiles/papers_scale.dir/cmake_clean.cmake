@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papers_scale.dir/papers_scale.cpp.o"
+  "CMakeFiles/papers_scale.dir/papers_scale.cpp.o.d"
+  "papers_scale"
+  "papers_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papers_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

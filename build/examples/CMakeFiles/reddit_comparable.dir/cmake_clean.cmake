@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reddit_comparable.dir/reddit_comparable.cpp.o"
+  "CMakeFiles/reddit_comparable.dir/reddit_comparable.cpp.o.d"
+  "reddit_comparable"
+  "reddit_comparable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reddit_comparable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reddit_comparable.
+# This may be replaced when dependencies are built.

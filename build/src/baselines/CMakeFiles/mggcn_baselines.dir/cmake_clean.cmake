@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_baselines.dir/cagnet.cpp.o"
+  "CMakeFiles/mggcn_baselines.dir/cagnet.cpp.o.d"
+  "CMakeFiles/mggcn_baselines.dir/dgl_like.cpp.o"
+  "CMakeFiles/mggcn_baselines.dir/dgl_like.cpp.o.d"
+  "CMakeFiles/mggcn_baselines.dir/distgnn.cpp.o"
+  "CMakeFiles/mggcn_baselines.dir/distgnn.cpp.o.d"
+  "CMakeFiles/mggcn_baselines.dir/minibatch.cpp.o"
+  "CMakeFiles/mggcn_baselines.dir/minibatch.cpp.o.d"
+  "libmggcn_baselines.a"
+  "libmggcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_comm.dir/communicator.cpp.o"
+  "CMakeFiles/mggcn_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/mggcn_comm.dir/topology.cpp.o"
+  "CMakeFiles/mggcn_comm.dir/topology.cpp.o.d"
+  "libmggcn_comm.a"
+  "libmggcn_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/mggcn_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/dist_spmm.cpp" "src/core/CMakeFiles/mggcn_core.dir/dist_spmm.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/dist_spmm.cpp.o.d"
+  "/root/repo/src/core/dist_spmm_15d.cpp" "src/core/CMakeFiles/mggcn_core.dir/dist_spmm_15d.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/dist_spmm_15d.cpp.o.d"
+  "/root/repo/src/core/gat_layer.cpp" "src/core/CMakeFiles/mggcn_core.dir/gat_layer.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/gat_layer.cpp.o.d"
+  "/root/repo/src/core/gcn_kernels.cpp" "src/core/CMakeFiles/mggcn_core.dir/gcn_kernels.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/gcn_kernels.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/mggcn_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/mggcn_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/mggcn_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/mggcn_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/mggcn_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mggcn_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mggcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mggcn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mggcn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mggcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

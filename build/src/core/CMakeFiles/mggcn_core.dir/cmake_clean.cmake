@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/mggcn_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/dist_spmm.cpp.o"
+  "CMakeFiles/mggcn_core.dir/dist_spmm.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/dist_spmm_15d.cpp.o"
+  "CMakeFiles/mggcn_core.dir/dist_spmm_15d.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/gat_layer.cpp.o"
+  "CMakeFiles/mggcn_core.dir/gat_layer.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/gcn_kernels.cpp.o"
+  "CMakeFiles/mggcn_core.dir/gcn_kernels.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/partition.cpp.o"
+  "CMakeFiles/mggcn_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/reference.cpp.o"
+  "CMakeFiles/mggcn_core.dir/reference.cpp.o.d"
+  "CMakeFiles/mggcn_core.dir/trainer.cpp.o"
+  "CMakeFiles/mggcn_core.dir/trainer.cpp.o.d"
+  "libmggcn_core.a"
+  "libmggcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_dense.dir/kernels.cpp.o"
+  "CMakeFiles/mggcn_dense.dir/kernels.cpp.o.d"
+  "libmggcn_dense.a"
+  "libmggcn_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/mggcn_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/mggcn_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/mggcn_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/mggcn_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/sampling.cpp" "src/graph/CMakeFiles/mggcn_graph.dir/sampling.cpp.o" "gcc" "src/graph/CMakeFiles/mggcn_graph.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/mggcn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mggcn_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mggcn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mggcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_graph.dir/datasets.cpp.o"
+  "CMakeFiles/mggcn_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/mggcn_graph.dir/generators.cpp.o"
+  "CMakeFiles/mggcn_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mggcn_graph.dir/sampling.cpp.o"
+  "CMakeFiles/mggcn_graph.dir/sampling.cpp.o.d"
+  "libmggcn_graph.a"
+  "libmggcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

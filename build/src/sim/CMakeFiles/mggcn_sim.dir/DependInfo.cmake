@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/mggcn_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/mggcn_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/mggcn_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/mggcn_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/mggcn_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/mggcn_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/mggcn_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/mggcn_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/mggcn_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/mggcn_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mggcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

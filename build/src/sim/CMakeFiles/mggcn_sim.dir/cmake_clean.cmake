@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/mggcn_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mggcn_sim.dir/device.cpp.o"
+  "CMakeFiles/mggcn_sim.dir/device.cpp.o.d"
+  "CMakeFiles/mggcn_sim.dir/machine.cpp.o"
+  "CMakeFiles/mggcn_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mggcn_sim.dir/profile.cpp.o"
+  "CMakeFiles/mggcn_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/mggcn_sim.dir/trace.cpp.o"
+  "CMakeFiles/mggcn_sim.dir/trace.cpp.o.d"
+  "libmggcn_sim.a"
+  "libmggcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmggcn_sim.a"
+)

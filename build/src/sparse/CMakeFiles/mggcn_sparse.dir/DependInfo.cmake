@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/mggcn_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/mggcn_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/mggcn_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/mggcn_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/mggcn_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/mggcn_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/sddmm.cpp" "src/sparse/CMakeFiles/mggcn_sparse.dir/sddmm.cpp.o" "gcc" "src/sparse/CMakeFiles/mggcn_sparse.dir/sddmm.cpp.o.d"
+  "/root/repo/src/sparse/spmm.cpp" "src/sparse/CMakeFiles/mggcn_sparse.dir/spmm.cpp.o" "gcc" "src/sparse/CMakeFiles/mggcn_sparse.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dense/CMakeFiles/mggcn_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mggcn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mggcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

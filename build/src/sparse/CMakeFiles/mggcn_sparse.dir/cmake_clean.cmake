@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_sparse.dir/coo.cpp.o"
+  "CMakeFiles/mggcn_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/mggcn_sparse.dir/csr.cpp.o"
+  "CMakeFiles/mggcn_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/mggcn_sparse.dir/io.cpp.o"
+  "CMakeFiles/mggcn_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/mggcn_sparse.dir/sddmm.cpp.o"
+  "CMakeFiles/mggcn_sparse.dir/sddmm.cpp.o.d"
+  "CMakeFiles/mggcn_sparse.dir/spmm.cpp.o"
+  "CMakeFiles/mggcn_sparse.dir/spmm.cpp.o.d"
+  "libmggcn_sparse.a"
+  "libmggcn_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

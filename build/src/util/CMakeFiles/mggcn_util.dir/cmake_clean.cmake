@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mggcn_util.dir/cli.cpp.o"
+  "CMakeFiles/mggcn_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mggcn_util.dir/logging.cpp.o"
+  "CMakeFiles/mggcn_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mggcn_util.dir/table.cpp.o"
+  "CMakeFiles/mggcn_util.dir/table.cpp.o.d"
+  "libmggcn_util.a"
+  "libmggcn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mggcn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

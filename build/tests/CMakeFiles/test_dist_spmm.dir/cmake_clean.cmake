@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_spmm.dir/test_dist_spmm.cpp.o"
+  "CMakeFiles/test_dist_spmm.dir/test_dist_spmm.cpp.o.d"
+  "test_dist_spmm"
+  "test_dist_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

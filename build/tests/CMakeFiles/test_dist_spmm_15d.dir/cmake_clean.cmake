@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_spmm_15d.dir/test_dist_spmm_15d.cpp.o"
+  "CMakeFiles/test_dist_spmm_15d.dir/test_dist_spmm_15d.cpp.o.d"
+  "test_dist_spmm_15d"
+  "test_dist_spmm_15d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_spmm_15d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcn_kernels.dir/test_gcn_kernels.cpp.o"
+  "CMakeFiles/test_gcn_kernels.dir/test_gcn_kernels.cpp.o.d"
+  "test_gcn_kernels"
+  "test_gcn_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

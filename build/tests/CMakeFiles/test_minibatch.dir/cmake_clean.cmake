@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minibatch.dir/test_minibatch.cpp.o"
+  "CMakeFiles/test_minibatch.dir/test_minibatch.cpp.o.d"
+  "test_minibatch"
+  "test_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_variants.dir/test_trainer_variants.cpp.o"
+  "CMakeFiles/test_trainer_variants.dir/test_trainer_variants.cpp.o.d"
+  "test_trainer_variants"
+  "test_trainer_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
