@@ -5,7 +5,9 @@
 // The paper's headline from this figure: SpMM takes 60-94% on the large
 // datasets (Proteins, Products, Reddit) and GeMM dominates the small ones
 // (Cora); Proteins OOMs below 4 GPUs.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/common.hpp"
 #include "util/cli.hpp"
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
              "comma-separated dataset names");
   cli.option("gpus", "1,2,4,8", "GPU counts");
   cli.option("scale", "0", "replica scale override (0 = per-dataset default)");
+  cli.option("json", "", "write results to this JSON file");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.help();
@@ -32,6 +35,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"Dataset", "GPUs", "SpMM%", "GeMM%", "Activation%",
                      "Loss-Layer%", "Adam%", "epoch(s)"});
+  std::ostringstream json_rows;
+  bool first_row = true;
 
   for (const auto& name : cli.get_list("datasets")) {
     const graph::DatasetSpec spec = graph::dataset_by_name(name);
@@ -46,9 +51,13 @@ int main(int argc, char** argv) {
       const bench::EpochResult r = bench::run_epoch(
           bench::System::kMgGcn, profile, static_cast<int>(gpus), ds,
           core::model_hidden512());
+      if (!first_row) json_rows << ",\n";
+      first_row = false;
       if (r.oom) {
         table.add_row({spec.name, std::to_string(gpus), "OOM", "OOM", "OOM",
                        "OOM", "OOM", "OOM"});
+        json_rows << "    {\"dataset\": \"" << spec.name << "\", \"gpus\": "
+                  << gpus << ", \"oom\": true}";
         continue;
       }
 
@@ -69,9 +78,26 @@ int main(int argc, char** argv) {
       table.add_row({spec.name, std::to_string(gpus), pct(spmm), pct(gemm),
                      pct(act), pct(loss), pct(adam),
                      util::format_double(r.seconds, 4)});
+      json_rows << "    {\"dataset\": \"" << spec.name << "\", \"gpus\": "
+                << gpus << ", \"oom\": false, \"epoch_seconds\": " << r.seconds
+                << ", \"busy_seconds\": {\"spmm\": " << spmm
+                << ", \"gemm\": " << gemm << ", \"activation\": " << act
+                << ", \"loss\": " << loss << ", \"adam\": " << adam << "}}";
     }
   }
 
   std::cout << '\n' << table.to_string() << '\n';
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n  \"bench\": \"fig5_breakdown\",\n  \"rows\": [\n"
+       << json_rows.str() << "\n  ]\n}\n";
+    if (!os.good()) {
+      std::cerr << "error: could not write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
   return 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every tracked C++ source with
+# clang-format using the repo's .clang-format. Usage:
+#   scripts/format.sh           # rewrite files in place
+#   scripts/format.sh --check   # exit non-zero if any file needs formatting
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format check passed (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

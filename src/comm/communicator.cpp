@@ -1,6 +1,7 @@
 #include "comm/communicator.hpp"
 
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
@@ -8,7 +9,9 @@
 namespace mggcn::comm {
 
 Communicator::Communicator(sim::Machine& machine, CommOptions options)
-    : topology_(machine.profile().interconnect), options_(options) {
+    : topology_(machine.profile().interconnect),
+      options_(options),
+      fault_plan_(machine.fault_plan()) {
   devices_.reserve(static_cast<std::size_t>(machine.num_devices()));
   for (int rank = 0; rank < machine.num_devices(); ++rank) {
     devices_.push_back(&machine.device(rank));
@@ -29,6 +32,55 @@ sim::Stream& Communicator::stream_of(int rank, StreamChoice choice) {
                                        : device.compute_stream();
 }
 
+double Communicator::resolve_faults(const char* label) {
+  for (const sim::Device* device : devices_) {
+    if (device->is_failed()) {
+      std::ostringstream os;
+      os << "collective '" << label << "' spans lost device "
+         << device->rank();
+      throw DeviceLostError(os.str(), device->rank());
+    }
+  }
+  if (fault_plan_ == nullptr) return 0.0;
+
+  sim::Trace* trace = devices_.front()->trace();
+  const int epoch = fault_plan_->current_epoch();
+  double penalty = 0.0;
+  int attempts = 0;
+  while (fault_plan_->take_transient_failure()) {
+    ++attempts;
+    // Exponential backoff: timeout, 2*timeout, 4*timeout, ...
+    const double backoff =
+        options_.retry_timeout_seconds * static_cast<double>(1 << (attempts - 1));
+    penalty += backoff;
+    if (trace != nullptr) {
+      trace->record_fault(sim::FaultRecord{
+          .kind = sim::FaultEventKind::kTransientComm,
+          .epoch = epoch,
+          .device = -1,
+          .detail = std::string("injected transient failure of '") + label +
+                    "'",
+      });
+      trace->record_fault(sim::FaultRecord{
+          .kind = sim::FaultEventKind::kCommRetry,
+          .epoch = epoch,
+          .device = -1,
+          .value = backoff,
+          .detail = std::string("retry ") + std::to_string(attempts) +
+                    " of '" + label + "'",
+      });
+    }
+    if (attempts > options_.max_retries) {
+      std::ostringstream os;
+      os << "collective '" << label << "' failed " << attempts
+         << " times (retry budget " << options_.max_retries << " exhausted)";
+      throw CommError(os.str(), attempts);
+    }
+  }
+
+  return penalty;
+}
+
 std::vector<sim::Event> Communicator::launch(std::vector<RankPart> parts,
                                              std::size_t count, int executor,
                                              double duration,
@@ -39,8 +91,13 @@ std::vector<sim::Event> Communicator::launch(std::vector<RankPart> parts,
                   "collective needs one part per rank");
   MGGCN_CHECK(executor >= 0 && executor < size());
 
+  const double fault_penalty = resolve_faults(label);
+  const double bandwidth_scale =
+      fault_plan_ != nullptr ? fault_plan_->link_bandwidth_scale() : 1.0;
+
   auto group = std::make_shared<sim::CollectiveGroup>(size());
-  group->duration = duration * options_.duration_scale;
+  group->duration =
+      duration * options_.duration_scale / bandwidth_scale + fault_penalty;
   group->action = std::move(action);
 
   std::vector<sim::Event> events;

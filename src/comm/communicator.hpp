@@ -35,6 +35,15 @@ struct CommOptions {
   /// Multiplier on every collective duration (models e.g. the older NCCL
   /// 2.4 CAGNET links against: efficiency below current NCCL).
   double duration_scale = 1.0;
+
+  // --- Fault handling (active when the machine has a FaultPlan). --------
+  /// Failed attempts tolerated per collective before surfacing CommError.
+  int max_retries = 4;
+  /// Simulated cost of the first failed attempt (detection timeout); each
+  /// further retry doubles it (exponential backoff). The penalty is added
+  /// to the collective's duration — data still moves exactly once, so
+  /// numerics are unchanged and only the timeline stretches.
+  double retry_timeout_seconds = 50e-6;
 };
 
 class Communicator {
@@ -84,11 +93,20 @@ class Communicator {
                                  std::function<void()> action,
                                  StreamChoice stream, int stage = -1);
 
+  /// Fault hook run before any rank part is enqueued: throws
+  /// DeviceLostError if a participant is lost (pre-checked so a collective
+  /// is never left with a partial rendezvous group, which would deadlock
+  /// the arrived ranks), and converts the fault plan's injected transient
+  /// failures into a simulated retry/backoff delay — or CommError once the
+  /// retry budget is exhausted.
+  [[nodiscard]] double resolve_faults(const char* label);
+
   [[nodiscard]] sim::Stream& stream_of(int rank, StreamChoice choice);
 
   std::vector<sim::Device*> devices_;
   Topology topology_;
   CommOptions options_;
+  sim::FaultPlan* fault_plan_ = nullptr;  ///< owned by the machine
 };
 
 }  // namespace mggcn::comm

@@ -1,0 +1,159 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace mggcn::core {
+
+ElasticTrainer::ElasticTrainer(sim::MachineProfile profile, int num_devices,
+                               const graph::Dataset& dataset,
+                               TrainConfig config,
+                               std::shared_ptr<sim::FaultPlan> fault_plan,
+                               ElasticOptions options)
+    : dataset_(dataset),
+      profile_(std::move(profile)),
+      config_(std::move(config)),
+      options_(std::move(options)),
+      plan_(std::move(fault_plan)) {
+  MGGCN_CHECK_MSG(options_.checkpoint_interval > 0,
+                  "checkpoint interval must be positive");
+  MGGCN_CHECK_MSG(options_.min_devices >= 1, "min_devices must be >= 1");
+  rebuild(num_devices);
+}
+
+ElasticTrainer::~ElasticTrainer() = default;
+
+void ElasticTrainer::rebuild(int devices) {
+  trainer_.reset();  // drains the old machine's streams before teardown
+  machine_.reset();
+  machine_ = std::make_unique<sim::Machine>(profile_, devices,
+                                            sim::ExecutionMode::kReal);
+  machine_->set_fault_plan(plan_);
+  // MgGcnTrainer construction is the conformal repartition: the 1D
+  // partition vector, both Â tilings, the L+3 buffer plan, and the
+  // feature/label scatter are all rebuilt for the new device count.
+  trainer_ = std::make_unique<MgGcnTrainer>(*machine_, dataset_, config_);
+}
+
+void ElasticTrainer::snapshot_if_due() {
+  const int epoch = trainer_->epoch();
+  if (have_snapshot_ && epoch - snapshot_epoch_ < options_.checkpoint_interval)
+    return;
+  snapshot_ = trainer_->checkpoint();
+  snapshot_epoch_ = epoch;
+  have_snapshot_ = true;
+  if (!options_.checkpoint_path.empty()) {
+    save_checkpoint(snapshot_, options_.checkpoint_path);
+  }
+}
+
+EpochStats ElasticTrainer::train_epoch() {
+  snapshot_if_due();
+  int comm_attempts = 0;
+  for (;;) {
+    try {
+      return trainer_->train_epoch();
+    } catch (const DeviceLostError& err) {
+      comm_attempts = 0;
+      recover(/*lost_device=*/true, err.what());
+    } catch (const CommError& err) {
+      if (++comm_attempts >= options_.max_epoch_attempts) throw;
+      recover(/*lost_device=*/false, err.what());
+    }
+  }
+}
+
+std::vector<EpochStats> ElasticTrainer::train(int epochs) {
+  std::vector<EpochStats> stats;
+  stats.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) stats.push_back(train_epoch());
+  return stats;
+}
+
+namespace {
+
+/// Devices the machine has marked lost so far (coinciding kill events are
+/// all consumed by one Machine::begin_epoch, so a single DeviceLostError
+/// can stand for several failed ranks).
+int failed_devices(sim::Machine& machine) {
+  int failed = 0;
+  for (int r = 0; r < machine.num_devices(); ++r) {
+    if (machine.device(r).is_failed()) ++failed;
+  }
+  return failed;
+}
+
+}  // namespace
+
+void ElasticTrainer::recover(bool lost_device, const std::string& cause) {
+  MGGCN_CHECK_MSG(have_snapshot_, "recovery before the first snapshot");
+  const int target_epoch = trainer_->epoch();
+  const int devices_before = machine_->num_devices();
+  int devices =
+      devices_before -
+      (lost_device ? std::max(1, failed_devices(*machine_)) : 0);
+  bool rebuild_needed = lost_device;
+
+  for (;;) {
+    if (devices < options_.min_devices) {
+      throw Error("elastic recovery impossible: " +
+                  std::to_string(devices) + " surviving device(s), need " +
+                  std::to_string(options_.min_devices) + " (" + cause + ")");
+    }
+    // Drain whatever the aborted epoch managed to enqueue; already-running
+    // tasks and complete collectives retire normally, so this cannot hang.
+    machine_->synchronize();
+    if (rebuild_needed) {
+      sim_base_ += machine_->sim_time();
+      rebuild(devices);
+    }
+    trainer_->restore(snapshot_);
+
+    int replayed = 0;
+    try {
+      while (trainer_->epoch() < target_epoch) {
+        trainer_->train_epoch();
+        ++replayed;
+      }
+    } catch (const DeviceLostError&) {
+      // More ranks died during replay: shrink by however many were lost.
+      devices -= std::max(1, failed_devices(*machine_));
+      rebuild_needed = true;
+      continue;
+    } catch (const CommError&) {
+      // Replay burned more of the transient budget; rewind once more. The
+      // budget is finite and strictly consumed, so this terminates.
+      rebuild_needed = false;
+      continue;
+    }
+
+    RecoveryEvent event;
+    event.epoch = target_epoch;
+    event.devices_before = devices_before;
+    event.devices_after = devices;
+    event.replayed_epochs = replayed;
+    event.cause = cause;
+    recoveries_.push_back(event);
+    machine_->trace().record_fault(sim::FaultRecord{
+        .kind = sim::FaultEventKind::kRecovery,
+        .epoch = target_epoch,
+        .device = -1,
+        .value = static_cast<double>(replayed),
+        .detail = "recovered onto " + std::to_string(devices) +
+                  " device(s) from epoch-" + std::to_string(snapshot_epoch_) +
+                  " snapshot: " + cause,
+    });
+    MGGCN_LOG(kInfo) << "elastic recovery at epoch " << target_epoch << ": "
+                    << devices_before << " -> " << devices << " devices, "
+                    << replayed << " epoch(s) replayed";
+    return;
+  }
+}
+
+double ElasticTrainer::total_sim_seconds() const {
+  return sim_base_ + machine_->sim_time();
+}
+
+}  // namespace mggcn::core

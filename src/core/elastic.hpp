@@ -1,0 +1,110 @@
+// Elastic fault-tolerant training driver.
+//
+// Wraps MgGcnTrainer with checkpoint-based recovery so a full-batch run
+// survives the faults a sim::FaultPlan injects:
+//
+//  - Transient collective failures are absorbed inside the Communicator's
+//    retry loop and never reach this layer; an exhausted retry budget
+//    surfaces as CommError, and the driver rewinds to the last snapshot on
+//    the same machine and replays.
+//  - A permanent device failure surfaces as DeviceLostError. The driver
+//    rebuilds the machine with the surviving P-1 devices, reconstructs the
+//    trainer (which conformally repartitions Â and H over the new device
+//    count via core/partition.cpp and re-tiles both SpMM operands), restores
+//    the latest snapshot, and replays the epochs since it. Training then
+//    continues to the same converged loss — only the simulated timeline
+//    (and the partition) differs from the fault-free run.
+//
+// Snapshots are in-memory Checkpoints (optionally mirrored to disk) taken
+// every `checkpoint_interval` epochs, always including epoch 0. Real
+// execution mode only (snapshots need host storage).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::core {
+
+struct ElasticOptions {
+  /// Epochs between model snapshots (1 = every epoch).
+  int checkpoint_interval = 1;
+  /// Recovery fails (throws Error) once fewer devices would survive.
+  int min_devices = 1;
+  /// CommError rewinds tolerated for one epoch before giving up.
+  int max_epoch_attempts = 3;
+  /// When non-empty, every snapshot is also written here (the on-disk
+  /// checkpoint a separate process could resume from).
+  std::string checkpoint_path;
+};
+
+/// One recovery performed by the driver.
+struct RecoveryEvent {
+  int epoch = 0;            ///< epoch whose execution observed the fault
+  int devices_before = 0;
+  int devices_after = 0;    ///< == devices_before for comm-only rewinds
+  int replayed_epochs = 0;  ///< epochs re-run from the snapshot
+  std::string cause;
+};
+
+class ElasticTrainer {
+ public:
+  ElasticTrainer(sim::MachineProfile profile, int num_devices,
+                 const graph::Dataset& dataset, TrainConfig config,
+                 std::shared_ptr<sim::FaultPlan> fault_plan,
+                 ElasticOptions options = {});
+  ~ElasticTrainer();
+
+  ElasticTrainer(const ElasticTrainer&) = delete;
+  ElasticTrainer& operator=(const ElasticTrainer&) = delete;
+
+  /// One epoch, transparently recovering from injected faults. Throws only
+  /// when recovery is impossible (below min_devices) or an epoch keeps
+  /// failing past max_epoch_attempts.
+  EpochStats train_epoch();
+  std::vector<EpochStats> train(int epochs);
+
+  [[nodiscard]] int epoch() const { return trainer_->epoch(); }
+  [[nodiscard]] int num_devices() const { return machine_->num_devices(); }
+  [[nodiscard]] const std::vector<RecoveryEvent>& recoveries() const {
+    return recoveries_;
+  }
+  [[nodiscard]] MgGcnTrainer& trainer() { return *trainer_; }
+  [[nodiscard]] sim::Machine& machine() { return *machine_; }
+
+  /// Simulated seconds across every machine incarnation, including time
+  /// lost to aborted epochs and recovery replays.
+  [[nodiscard]] double total_sim_seconds() const;
+
+ private:
+  void snapshot_if_due();
+  /// Rewind-and-replay recovery; `lost_device` drops one rank first.
+  void recover(bool lost_device, const std::string& cause);
+  void rebuild(int devices);
+
+  const graph::Dataset& dataset_;  ///< must outlive the driver
+  sim::MachineProfile profile_;
+  TrainConfig config_;
+  ElasticOptions options_;
+  std::shared_ptr<sim::FaultPlan> plan_;
+
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<MgGcnTrainer> trainer_;
+
+  Checkpoint snapshot_;
+  int snapshot_epoch_ = 0;
+  bool have_snapshot_ = false;
+
+  double sim_base_ = 0.0;  ///< sim seconds banked from replaced machines
+  std::vector<RecoveryEvent> recoveries_;
+};
+
+}  // namespace mggcn::core

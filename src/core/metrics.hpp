@@ -26,6 +26,10 @@ struct EpochStats {
 
   /// Peak device memory over ranks at the end of the epoch.
   std::uint64_t peak_memory_bytes = 0;
+
+  /// Collective retries paid this epoch to absorb injected transient
+  /// communication faults (0 on fault-free runs).
+  int comm_retries = 0;
 };
 
 }  // namespace mggcn::core

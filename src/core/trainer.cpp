@@ -403,13 +403,10 @@ std::vector<sim::Event> MgGcnTrainer::enqueue_loss(
     const std::int32_t* labels = rank.labels.data();
     const std::uint8_t* mask = rank.train_mask.data();
     const std::int64_t total_train = std::max<std::int64_t>(total_train_, 1);
-    task.body = [this, logits, labels, mask, n_r, classes, total_train] {
-      const LossResult local = softmax_cross_entropy_inplace(
-          {logits, n_r, classes}, labels, mask, total_train);
-      std::lock_guard lock(loss_mutex_);
-      loss_sum_ += local.loss_sum;
-      correct_ += local.correct;
-      counted_ += local.counted;
+    LossResult* slot = &rank_loss_[rr];
+    task.body = [logits, labels, mask, n_r, classes, total_train, slot] {
+      *slot = softmax_cross_entropy_inplace({logits, n_r, classes}, labels,
+                                            mask, total_train);
     };
     events[rr] = machine_.device(r).compute_stream().enqueue(std::move(task));
   }
@@ -563,12 +560,8 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
 
 EpochStats MgGcnTrainer::train_epoch() {
   const double mark = machine_.align_clocks();
-  {
-    std::lock_guard lock(loss_mutex_);
-    loss_sum_ = 0.0;
-    correct_ = 0;
-    counted_ = 0;
-  }
+  machine_.begin_epoch(epoch_);
+  rank_loss_.assign(ranks_.size(), LossResult{});
 
   std::vector<sim::Event> logits_ready;
   enqueue_forward(&logits_ready);
@@ -581,12 +574,19 @@ EpochStats MgGcnTrainer::train_epoch() {
   stats.sim_seconds = machine_.sim_time() - mark;
   stats.busy_by_kind = machine_.trace().busy_by_kind(mark);
   stats.peak_memory_bytes = machine_.max_memory_peak();
-  {
-    std::lock_guard lock(loss_mutex_);
-    stats.loss = loss_sum_;
-    stats.train_accuracy =
-        counted_ > 0 ? static_cast<double>(correct_) / counted_ : 0.0;
+  stats.comm_retries = static_cast<int>(machine_.trace().fault_count(
+      sim::FaultEventKind::kCommRetry, stats.epoch));
+  double loss = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t counted = 0;
+  for (const LossResult& local : rank_loss_) {
+    loss += local.loss_sum;
+    correct += local.correct;
+    counted += local.counted;
   }
+  stats.loss = loss;
+  stats.train_accuracy =
+      counted > 0 ? static_cast<double>(correct) / counted : 0.0;
   return stats;
 }
 
@@ -644,6 +644,10 @@ void MgGcnTrainer::restore(const Checkpoint& snapshot) {
                   "checkpoint layer count mismatch");
   machine_.synchronize();
   adam_step_ = snapshot.adam_step;
+  // One Adam step per epoch, so the snapshot's step count is also the
+  // epoch to resume from — keeping the fault plan's epoch clock aligned
+  // across recoveries.
+  epoch_ = snapshot.adam_step;
   for (auto& rank : ranks_) {
     for (int l = 0; l < num_layers(); ++l) {
       const auto ll = static_cast<std::size_t>(l);

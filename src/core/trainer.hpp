@@ -21,13 +21,13 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/dist_spmm.hpp"
+#include "core/gcn_kernels.hpp"
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
 #include "dense/matrix.hpp"
@@ -61,6 +61,10 @@ class MgGcnTrainer {
 
   /// Runs one full-batch epoch (forward, loss, backward, Adam) and returns
   /// its metrics. Loss/accuracy are only meaningful in real execution mode.
+  /// When the machine carries a sim::FaultPlan, its epoch-boundary faults
+  /// are applied first; a scheduled permanent device failure then surfaces
+  /// as DeviceLostError and an unabsorbed transient burst as CommError (see
+  /// ElasticTrainer for the recovery loop).
   EpochStats train_epoch();
 
   /// Convenience: `epochs` epochs, returning per-epoch stats.
@@ -79,8 +83,13 @@ class MgGcnTrainer {
   [[nodiscard]] Checkpoint checkpoint();
 
   /// Restores a snapshot into every rank; training resumes exactly where
-  /// the snapshot was taken. Real mode only.
+  /// the snapshot was taken (including the epoch counter, which the fault
+  /// plan keys on). Real mode only.
   void restore(const Checkpoint& checkpoint);
+
+  /// Epochs completed by this trainer instance (restore() rewinds it to
+  /// the snapshot's position).
+  [[nodiscard]] int epoch() const { return epoch_; }
 
   [[nodiscard]] const PartitionVector& partition() const {
     return partition_;
@@ -155,11 +164,11 @@ class MgGcnTrainer {
   int epoch_ = 0;
   double preprocessing_seconds_ = 0.0;
 
-  // Loss accumulation side-channel (real mode), reset per epoch.
-  std::mutex loss_mutex_;
-  double loss_sum_ = 0.0;
-  std::int64_t correct_ = 0;
-  std::int64_t counted_ = 0;
+  // Loss accumulation side-channel (real mode), reset per epoch. One slot
+  // per rank, written by that rank's single loss task and summed in rank
+  // order at epoch end so the reported loss is bit-deterministic (a shared
+  // accumulator would sum in worker-thread completion order).
+  std::vector<LossResult> rank_loss_;
 };
 
 }  // namespace mggcn::core

@@ -41,6 +41,12 @@ Stream::~Stream() {
 }
 
 Event Stream::enqueue(TaskDesc desc) {
+  if (desc.traced && device_.is_failed()) {
+    std::ostringstream os;
+    os << "device " << device_.rank() << " is lost; cannot enqueue '"
+       << desc.label << "'";
+    throw DeviceLostError(os.str(), device_.rank());
+  }
   auto state = std::make_shared<Event::State>();
   const bool accepted =
       queue_.push(PendingTask{std::move(desc), state});
@@ -161,6 +167,8 @@ Device::Device(int rank, DeviceProfile profile, ExecutionMode mode,
 }
 
 Device::~Device() = default;
+
+void Device::mark_failed() { failed_.store(true, std::memory_order_release); }
 
 void Device::reserve_memory(std::uint64_t bytes, const std::string& what) {
   std::lock_guard lock(memory_mutex_);

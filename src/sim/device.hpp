@@ -180,6 +180,16 @@ class Device {
   [[nodiscard]] Stream& compute_stream() { return *streams_[kComputeStream]; }
   [[nodiscard]] Stream& comm_stream() { return *streams_[kCommStream]; }
 
+  /// Fault injection: marks the device permanently lost. Work already
+  /// enqueued keeps draining (so pending collectives complete and
+  /// synchronize() stays safe), but submitting new *traced* work throws
+  /// DeviceLostError — untraced markers/syncs still pass, modeling a dead
+  /// accelerator whose host-side control path still answers.
+  void mark_failed();
+  [[nodiscard]] bool is_failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+
   /// Memory accounting. reserve() throws OutOfMemoryError when the
   /// allocation would exceed the profile's capacity.
   void reserve_memory(std::uint64_t bytes, const std::string& what);
@@ -199,6 +209,7 @@ class Device {
   DeviceProfile profile_;
   ExecutionMode mode_;
   Trace* trace_;
+  std::atomic<bool> failed_{false};
 
   mutable std::mutex memory_mutex_;
   std::uint64_t memory_used_ = 0;

@@ -1,0 +1,244 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceFailure: return "device-failure";
+    case FaultKind::kTransientComm: return "transient-comm";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultSpec spec) {
+  MGGCN_CHECK_MSG(spec.epoch >= 0, "fault epoch must be non-negative");
+  MGGCN_CHECK_MSG(spec.count > 0, "fault count must be positive");
+  switch (spec.kind) {
+    case FaultKind::kDeviceFailure:
+      MGGCN_CHECK_MSG(spec.device >= 0, "device failure needs a target rank");
+      break;
+    case FaultKind::kTransientComm:
+      break;
+    case FaultKind::kLinkDegrade:
+      MGGCN_CHECK_MSG(spec.severity > 0.0 && spec.severity <= 1.0,
+                      "degradation severity must be in (0, 1]");
+      break;
+  }
+  State state;
+  state.spec = spec;
+  state.remaining = spec.kind == FaultKind::kTransientComm ? spec.count : 0;
+  specs_.push_back(state);
+  return *this;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split(const std::string& text, const char* seps) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find_first_of(seps, begin);
+    const std::string token = trim(
+        text.substr(begin, end == std::string::npos ? end : end - begin));
+    if (!token.empty()) out.push_back(token);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+int parse_int(const std::string& s, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(s, &used);
+    MGGCN_CHECK_MSG(used == s.size(), "bad fault spec: " + token);
+    return value;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError("bad fault spec: " + token);
+  }
+}
+
+double parse_double(const std::string& s, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    MGGCN_CHECK_MSG(used == s.size(), "bad fault spec: " + token);
+    return value;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError("bad fault spec: " + token);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  for (const std::string& token : split(text, ";,")) {
+    const std::size_t colon = token.find(':');
+    const std::size_t at = token.find('@');
+    MGGCN_CHECK_MSG(colon != std::string::npos && at != std::string::npos &&
+                        colon < at,
+                    "bad fault spec (want kind:arg@epoch): " + token);
+    const std::string kind = token.substr(0, colon);
+    const std::string arg = token.substr(colon + 1, at - colon - 1);
+    std::string epoch_part = token.substr(at + 1);
+
+    FaultSpec spec;
+    const std::size_t x = epoch_part.find('x');
+    if (x != std::string::npos) {
+      spec.count = parse_int(epoch_part.substr(x + 1), token);
+      epoch_part = epoch_part.substr(0, x);
+    }
+    spec.epoch = parse_int(epoch_part, token);
+
+    if (kind == "kill") {
+      spec.kind = FaultKind::kDeviceFailure;
+      spec.device = parse_int(arg, token);
+    } else if (kind == "flaky") {
+      spec.kind = FaultKind::kTransientComm;
+      spec.count = parse_int(arg, token);
+    } else if (kind == "degrade") {
+      spec.kind = FaultKind::kLinkDegrade;
+      spec.severity = parse_double(arg, token);
+    } else {
+      throw InvalidArgumentError("unknown fault kind '" + kind +
+                                 "' in: " + token);
+    }
+    plan.add(spec);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int epochs, int devices,
+                            const RandomRates& rates) {
+  MGGCN_CHECK(epochs >= 0 && devices > 0);
+  util::Rng rng(seed ^ 0xfa017a0107ULL);
+  FaultPlan plan;
+  for (int e = 0; e < epochs; ++e) {
+    if (rates.device_failure > 0.0 && rng.bernoulli(rates.device_failure)) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kDeviceFailure;
+      spec.epoch = e;
+      spec.device =
+          static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(devices)));
+      plan.add(spec);
+    }
+    if (rates.transient > 0.0 && rng.bernoulli(rates.transient)) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kTransientComm;
+      spec.epoch = e;
+      spec.count = 1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+                           std::max(1, rates.transient_burst))));
+      plan.add(spec);
+    }
+    if (rates.degrade > 0.0 && rng.bernoulli(rates.degrade)) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kLinkDegrade;
+      spec.epoch = e;
+      spec.count = std::max(1, rates.degrade_epochs);
+      spec.severity = rates.degrade_severity;
+      plan.add(spec);
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::begin_epoch(int epoch) {
+  MGGCN_CHECK_MSG(epoch >= 0, "epoch must be non-negative");
+  epoch_ = epoch;
+}
+
+int FaultPlan::take_device_failure() {
+  for (auto& state : specs_) {
+    if (state.spec.kind != FaultKind::kDeviceFailure || state.consumed ||
+        state.spec.epoch > epoch_) {
+      continue;
+    }
+    state.consumed = true;
+    return state.spec.device;
+  }
+  return -1;
+}
+
+bool FaultPlan::take_transient_failure() {
+  for (auto& state : specs_) {
+    if (state.spec.kind != FaultKind::kTransientComm || state.remaining <= 0 ||
+        state.spec.epoch != epoch_) {
+      continue;
+    }
+    --state.remaining;
+    return true;
+  }
+  return false;
+}
+
+double FaultPlan::link_bandwidth_scale() const {
+  double scale = 1.0;
+  for (const auto& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (spec.kind == FaultKind::kLinkDegrade && epoch_ >= spec.epoch &&
+        epoch_ < spec.epoch + spec.count) {
+      scale *= spec.severity;
+    }
+  }
+  return std::max(scale, 1e-6);
+}
+
+std::vector<FaultSpec> FaultPlan::take_newly_degraded() {
+  std::vector<FaultSpec> out;
+  for (auto& state : specs_) {
+    if (state.spec.kind == FaultKind::kLinkDegrade && !state.consumed &&
+        state.spec.epoch == epoch_) {
+      state.consumed = true;
+      out.push_back(state.spec);
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSpec> FaultPlan::specs() const {
+  std::vector<FaultSpec> out;
+  out.reserve(specs_.size());
+  for (const auto& state : specs_) out.push_back(state.spec);
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  if (specs_.empty()) return "(no faults)";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (!first) os << "; ";
+    first = false;
+    switch (spec.kind) {
+      case FaultKind::kDeviceFailure:
+        os << "kill rank " << spec.device << " @ epoch " << spec.epoch;
+        break;
+      case FaultKind::kTransientComm:
+        os << "flaky x" << spec.count << " @ epoch " << spec.epoch;
+        break;
+      case FaultKind::kLinkDegrade:
+        os << "degrade x" << spec.severity << " @ epochs [" << spec.epoch
+           << ", " << spec.epoch + spec.count << ")";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mggcn::sim

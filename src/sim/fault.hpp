@@ -1,0 +1,118 @@
+// Deterministic fault injection for the simulated machine.
+//
+// A FaultPlan is a schedule of fault events — permanent device failures,
+// transient collective failures, and link-bandwidth degradation — keyed by
+// epoch. The schedule is fixed up front (parsed from a CLI spec or drawn
+// from a seeded RNG), so a given plan reproduces the same faults
+// bit-for-bit, which is what lets the recovery tests assert exact loss
+// trajectories. Consumers:
+//
+//   Machine::begin_epoch(e)    advances the plan clock, marks scheduled
+//                              devices failed, records trace fault events.
+//   Communicator::launch       consumes transient-failure budget (each unit
+//                              is one failed attempt that retry-with-backoff
+//                              must absorb) and applies the current link
+//                              degradation to collective durations.
+//   core::ElasticTrainer       reacts to the surfaced DeviceLostError /
+//                              CommError by recovering from checkpoint.
+//
+// Fired events are consumed exactly once: when a recovery replays epochs,
+// the replay does not re-trigger the faults that caused it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mggcn::sim {
+
+enum class FaultKind {
+  kDeviceFailure,  ///< permanent: the target rank is lost at the epoch
+  kTransientComm,  ///< `count` consecutive collective attempts fail
+  kLinkDegrade,    ///< bandwidth multiplier `severity` for `count` epochs
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransientComm;
+  /// Epoch at which the fault fires (degradation: first active epoch).
+  int epoch = 0;
+  /// Target rank for device failures (current rank numbering).
+  int device = -1;
+  /// Transient: consecutive failed attempts. Degradation: active epochs.
+  int count = 1;
+  /// Degradation: link-bandwidth multiplier in (0, 1].
+  double severity = 0.5;
+};
+
+/// Host-thread-only (all consultation happens while enqueuing work).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultSpec spec);
+
+  /// Parses a semicolon/comma-separated CLI schedule:
+  ///   kill:R@E          rank R permanently fails at epoch E
+  ///   flaky:N@E         N consecutive collective attempts fail at epoch E
+  ///   degrade:S@E       link bandwidth multiplied by S during epoch E
+  ///   degrade:S@ExD     ... for D consecutive epochs
+  /// e.g. "kill:2@5;flaky:2@3;degrade:0.25@7x4". Empty string = no faults.
+  static FaultPlan parse(const std::string& text);
+
+  /// Per-epoch probabilities for a randomly drawn schedule.
+  struct RandomRates {
+    double device_failure = 0.0;
+    double transient = 0.0;
+    double degrade = 0.0;
+    int transient_burst = 2;       ///< max consecutive transient failures
+    double degrade_severity = 0.5;
+    int degrade_epochs = 2;
+  };
+
+  /// Draws a deterministic schedule over `epochs` x `devices` from `seed`.
+  static FaultPlan random(std::uint64_t seed, int epochs, int devices,
+                          const RandomRates& rates);
+
+  /// Advances the plan clock. Epochs may repeat (recovery replays) or skip
+  /// forward; fired events stay consumed either way.
+  void begin_epoch(int epoch);
+  [[nodiscard]] int current_epoch() const { return epoch_; }
+
+  /// Rank scheduled to fail at (or before) the current epoch, -1 if none.
+  /// Consumes the event; call repeatedly to drain coinciding failures.
+  [[nodiscard]] int take_device_failure();
+
+  /// Consumes one unit of the current epoch's transient-failure budget.
+  /// Returns true while injected attempts remain (the communicator turns
+  /// each unit into one failed attempt of its retry loop).
+  [[nodiscard]] bool take_transient_failure();
+
+  /// Product of the bandwidth multipliers of all degradations active at
+  /// the current epoch (1.0 when none).
+  [[nodiscard]] double link_bandwidth_scale() const;
+
+  /// Degradations that become active exactly at the current epoch (for
+  /// trace recording); consumed.
+  [[nodiscard]] std::vector<FaultSpec> take_newly_degraded();
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] std::vector<FaultSpec> specs() const;
+
+  /// One-line human-readable schedule (bench/log output).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct State {
+    FaultSpec spec;
+    bool consumed = false;  ///< device failure fired / degrade announced
+    int remaining = 0;      ///< transient: unconsumed failed attempts
+  };
+
+  std::vector<State> specs_;
+  int epoch_ = -1;
+};
+
+}  // namespace mggcn::sim

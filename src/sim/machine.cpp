@@ -20,6 +20,32 @@ void Machine::synchronize() {
   for (auto& device : devices_) device->synchronize();
 }
 
+void Machine::begin_epoch(int epoch) {
+  if (!fault_plan_) return;
+  fault_plan_->begin_epoch(epoch);
+  for (int rank = 0; (rank = fault_plan_->take_device_failure()) >= 0;) {
+    if (rank >= num_devices()) continue;  // already shrunk past this rank
+    if (devices_[static_cast<std::size_t>(rank)]->is_failed()) continue;
+    devices_[static_cast<std::size_t>(rank)]->mark_failed();
+    trace_.record_fault(FaultRecord{
+        .kind = FaultEventKind::kDeviceFailure,
+        .epoch = epoch,
+        .device = rank,
+        .detail = "injected permanent device failure",
+    });
+  }
+  for (const FaultSpec& spec : fault_plan_->take_newly_degraded()) {
+    trace_.record_fault(FaultRecord{
+        .kind = FaultEventKind::kLinkDegrade,
+        .epoch = epoch,
+        .device = -1,
+        .value = spec.severity,
+        .detail = "link bandwidth x" + std::to_string(spec.severity) + " for " +
+                  std::to_string(spec.count) + " epoch(s)",
+    });
+  }
+}
+
 double Machine::align_clocks() {
   synchronize();
   const double t = sim_time();

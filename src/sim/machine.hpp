@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/device.hpp"
+#include "sim/fault.hpp"
 #include "sim/profile.hpp"
 #include "sim/trace.hpp"
 
@@ -42,10 +43,24 @@ class Machine {
   [[nodiscard]] std::uint64_t max_memory_peak() const;
   void reset_memory_peaks();
 
+  /// Attaches a fault-injection schedule (shared so an elastic trainer can
+  /// carry consumed-fault state across machine rebuilds). Null = fault-free.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  /// Epoch-boundary fault hook, called by the trainer before enqueuing an
+  /// epoch: advances the plan clock, marks scheduled device failures (so
+  /// the next traced enqueue surfaces DeviceLostError), and records trace
+  /// fault events for failures and newly active link degradations.
+  void begin_epoch(int epoch);
+
  private:
   MachineProfile profile_;
   ExecutionMode mode_;
   Trace trace_;
+  std::shared_ptr<FaultPlan> fault_plan_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

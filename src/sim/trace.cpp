@@ -23,14 +23,45 @@ const char* task_kind_name(TaskKind kind) {
   return "?";
 }
 
+const char* fault_event_kind_name(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kDeviceFailure: return "device-failure";
+    case FaultEventKind::kTransientComm: return "transient-comm";
+    case FaultEventKind::kCommRetry: return "comm-retry";
+    case FaultEventKind::kLinkDegrade: return "link-degrade";
+    case FaultEventKind::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
 void Trace::record(TraceRecord rec) {
   std::lock_guard lock(mutex_);
   records_.push_back(std::move(rec));
 }
 
+void Trace::record_fault(FaultRecord rec) {
+  std::lock_guard lock(mutex_);
+  fault_records_.push_back(std::move(rec));
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
+  fault_records_.clear();
+}
+
+std::vector<FaultRecord> Trace::fault_records() const {
+  std::lock_guard lock(mutex_);
+  return fault_records_;
+}
+
+std::size_t Trace::fault_count(FaultEventKind kind, int epoch) const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& rec : fault_records_) {
+    if (rec.kind == kind && (epoch < 0 || rec.epoch == epoch)) ++count;
+  }
+  return count;
 }
 
 std::vector<TraceRecord> Trace::records() const {

@@ -25,6 +25,29 @@ enum class TaskKind {
 
 const char* task_kind_name(TaskKind kind);
 
+/// What a fault-plan event did when it fired (injected fault, retry taken
+/// to survive one, or a recovery performed by the elastic trainer).
+enum class FaultEventKind {
+  kDeviceFailure,    ///< a rank was marked permanently lost
+  kTransientComm,    ///< one injected collective failure
+  kCommRetry,        ///< one retry a communicator paid to absorb it
+  kLinkDegrade,      ///< a bandwidth degradation became active
+  kRecovery,         ///< the elastic trainer recovered from a checkpoint
+};
+
+const char* fault_event_kind_name(FaultEventKind kind);
+
+/// One fault/recovery event on the simulated timeline. Separate from
+/// TraceRecord so the busy-time accounting the figures are built on is not
+/// polluted by zero-duration markers.
+struct FaultRecord {
+  FaultEventKind kind = FaultEventKind::kTransientComm;
+  int epoch = 0;
+  int device = -1;       ///< affected rank, -1 when machine-wide
+  double value = 0.0;    ///< retry backoff seconds / degradation factor
+  std::string detail;
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -43,9 +66,17 @@ struct TraceRecord {
 class Trace {
  public:
   void record(TraceRecord rec);
+  void record_fault(FaultRecord rec);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
+
+  /// All fault/recovery events recorded so far, in firing order.
+  [[nodiscard]] std::vector<FaultRecord> fault_records() const;
+
+  /// Number of fault events of `kind` (optionally restricted to one epoch).
+  [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
+                                        int epoch = -1) const;
 
   /// Total simulated busy time per kind, over records with t_begin >= since.
   [[nodiscard]] std::map<TaskKind, double> busy_by_kind(
@@ -68,6 +99,7 @@ class Trace {
  private:
   mutable std::mutex mutex_;
   std::vector<TraceRecord> records_;
+  std::vector<FaultRecord> fault_records_;
 };
 
 }  // namespace mggcn::sim

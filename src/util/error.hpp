@@ -31,6 +31,36 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by the communicator when a collective keeps failing after the
+/// configured retry budget (fault injection, see sim/fault.hpp). Transient
+/// faults below the budget are absorbed by retry-with-backoff and never
+/// surface; this is the "link is really down" escalation.
+class CommError : public Error {
+ public:
+  CommError(const std::string& what, int attempts)
+      : Error(what), attempts_(attempts) {}
+
+  /// Failed attempts spent before giving up (retries + the first try).
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  int attempts_ = 0;
+};
+
+/// Thrown when work is submitted to (or a collective spans) a device that a
+/// FaultPlan has marked permanently failed. The elastic trainer catches
+/// this to trigger checkpoint recovery onto the surviving devices.
+class DeviceLostError : public Error {
+ public:
+  DeviceLostError(const std::string& what, int rank)
+      : Error(what), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  int rank_ = -1;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <fstream>
 #include <filesystem>
+#include <memory>
 
 #include "core/checkpoint.hpp"
 #include "core/trainer.hpp"
 #include "graph/datasets.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "util/rng.hpp"
 
@@ -105,6 +107,52 @@ TEST(Checkpoint, ResumedTrainingMatchesUninterruptedRun) {
     const double resumed = second_half.train_epoch().loss;
     ASSERT_NEAR(resumed, straight_losses[static_cast<std::size_t>(e)],
                 1e-3 * std::max(1.0, straight_losses[e]))
+        << "epoch " << e;
+  }
+}
+
+TEST(Checkpoint, MidEpochFaultRoundTrip) {
+  // The elastic-recovery disk path: a checkpoint is written, the process
+  // "dies" mid-epoch when a device fails, and a fresh process (machine +
+  // trainer) resumes from the file bit-identically to an undisturbed run.
+  const graph::Dataset ds = tiny_dataset();
+  TrainConfig config;
+  config.hidden_dims = {12};
+  config.permute = false;
+  config.seed = 9;
+
+  sim::Machine reference(sim::dgx_v100(), 2, sim::ExecutionMode::kReal);
+  MgGcnTrainer straight(reference, ds, config);
+  std::vector<double> straight_losses;
+  for (int e = 0; e < 8; ++e) {
+    straight_losses.push_back(straight.train_epoch().loss);
+  }
+
+  const std::string path = temp_path("mggcn_test_midfault.bin");
+  {
+    sim::Machine doomed(sim::dgx_v100(), 2, sim::ExecutionMode::kReal);
+    doomed.set_fault_plan(std::make_shared<sim::FaultPlan>(
+        sim::FaultPlan::parse("kill:1@4")));
+    MgGcnTrainer victim(doomed, ds, config);
+    for (int e = 0; e < 4; ++e) victim.train_epoch();
+    save_checkpoint(victim.checkpoint(), path);
+    EXPECT_THROW(victim.train_epoch(), DeviceLostError);
+    doomed.synchronize();
+    // Scope exit destroys machine and trainer: the "process" is gone.
+  }
+
+  sim::Machine fresh(sim::dgx_v100(), 2, sim::ExecutionMode::kReal);
+  MgGcnTrainer resumed(fresh, ds, config);
+  const Checkpoint loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.adam_step, 4);
+  resumed.restore(loaded);
+  EXPECT_EQ(resumed.epoch(), 4);
+
+  // Same machine shape + same snapshot => bit-identical continuation.
+  for (int e = 4; e < 8; ++e) {
+    EXPECT_EQ(resumed.train_epoch().loss,
+              straight_losses[static_cast<std::size_t>(e)])
         << "epoch " << e;
   }
 }

@@ -1,0 +1,304 @@
+// Fault injection and elastic recovery: deterministic fault schedules, the
+// communicator's retry-with-backoff, and checkpoint-based recovery onto the
+// surviving devices. The key invariants:
+//   - a fault-free run with a (possibly empty) plan attached is bit-identical
+//     to a run with no plan at all;
+//   - absorbed transient faults and link degradation stretch the simulated
+//     timeline but never change the numerics;
+//   - a permanent device failure recovers onto P-1 devices and converges to
+//     the fault-free final loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/elastic.hpp"
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+
+namespace mggcn {
+namespace {
+
+graph::Dataset small_dataset(std::uint64_t seed = 7) {
+  graph::DatasetSpec spec = graph::cora();
+  spec.n = 400;
+  spec.feature_dim = 32;
+  spec.num_classes = 5;
+  spec.avg_degree = 8.0;
+  graph::DatasetOptions options;
+  options.seed = seed;
+  return graph::make_dataset(spec, options);
+}
+
+/// Small but learnable: high-SNR features so the loss converges to a flat
+/// plateau, which the recovery test compares across device counts.
+graph::Dataset learnable_dataset() {
+  graph::DatasetSpec spec = graph::cora();
+  spec.n = 240;
+  spec.feature_dim = 32;
+  spec.num_classes = 4;
+  spec.avg_degree = 6.0;
+  graph::DatasetOptions options;
+  options.seed = 11;
+  options.feature_snr = 8.0;
+  return graph::make_dataset(spec, options);
+}
+
+core::TrainConfig small_config() {
+  core::TrainConfig config;
+  config.hidden_dims = {16};
+  config.seed = 3;
+  config.permute = false;
+  return config;
+}
+
+std::vector<core::EpochStats> run_plain(const graph::Dataset& ds, int devices,
+                                        int epochs,
+                                        std::shared_ptr<sim::FaultPlan> plan) {
+  sim::Machine machine(sim::dgx_v100(), devices, sim::ExecutionMode::kReal);
+  machine.set_fault_plan(std::move(plan));
+  core::MgGcnTrainer trainer(machine, ds, small_config());
+  return trainer.train(epochs);
+}
+
+// --- FaultPlan schedule --------------------------------------------------
+
+TEST(FaultPlan, ParsesCliGrammar) {
+  const sim::FaultPlan plan =
+      sim::FaultPlan::parse("kill:2@5; flaky:3@1, degrade:0.25@7x4");
+  ASSERT_EQ(plan.size(), 3u);
+  const auto specs = plan.specs();
+  EXPECT_EQ(specs[0].kind, sim::FaultKind::kDeviceFailure);
+  EXPECT_EQ(specs[0].device, 2);
+  EXPECT_EQ(specs[0].epoch, 5);
+  EXPECT_EQ(specs[1].kind, sim::FaultKind::kTransientComm);
+  EXPECT_EQ(specs[1].count, 3);
+  EXPECT_EQ(specs[1].epoch, 1);
+  EXPECT_EQ(specs[2].kind, sim::FaultKind::kLinkDegrade);
+  EXPECT_DOUBLE_EQ(specs[2].severity, 0.25);
+  EXPECT_EQ(specs[2].epoch, 7);
+  EXPECT_EQ(specs[2].count, 4);
+
+  EXPECT_TRUE(sim::FaultPlan::parse("").empty());
+  EXPECT_THROW(sim::FaultPlan::parse("kill:1"), InvalidArgumentError);
+  EXPECT_THROW(sim::FaultPlan::parse("melt:1@2"), InvalidArgumentError);
+  EXPECT_THROW(sim::FaultPlan::parse("degrade:1.5@2"), InvalidArgumentError);
+}
+
+TEST(FaultPlan, RandomScheduleIsDeterministic) {
+  sim::FaultPlan::RandomRates rates;
+  rates.device_failure = 0.05;
+  rates.transient = 0.2;
+  rates.degrade = 0.1;
+  const sim::FaultPlan a = sim::FaultPlan::random(42, 50, 4, rates);
+  const sim::FaultPlan b = sim::FaultPlan::random(42, 50, 4, rates);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.size(), b.size());
+  const sim::FaultPlan c = sim::FaultPlan::random(43, 50, 4, rates);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+TEST(FaultPlan, EventsAreConsumedExactlyOnce) {
+  sim::FaultPlan plan = sim::FaultPlan::parse("kill:1@2;flaky:2@2");
+  plan.begin_epoch(0);
+  EXPECT_EQ(plan.take_device_failure(), -1);
+  EXPECT_FALSE(plan.take_transient_failure());
+
+  plan.begin_epoch(2);
+  EXPECT_EQ(plan.take_device_failure(), 1);
+  EXPECT_EQ(plan.take_device_failure(), -1);
+  EXPECT_TRUE(plan.take_transient_failure());
+  EXPECT_TRUE(plan.take_transient_failure());
+  EXPECT_FALSE(plan.take_transient_failure());
+
+  // A recovery replay of the same epoch must not re-fire anything.
+  plan.begin_epoch(2);
+  EXPECT_EQ(plan.take_device_failure(), -1);
+  EXPECT_FALSE(plan.take_transient_failure());
+}
+
+TEST(FaultPlan, SkippedEpochsStillFireDeviceFailures) {
+  sim::FaultPlan plan = sim::FaultPlan::parse("kill:0@3");
+  plan.begin_epoch(5);  // plan epochs may skip forward
+  EXPECT_EQ(plan.take_device_failure(), 0);
+}
+
+TEST(FaultPlan, DegradationWindow) {
+  sim::FaultPlan plan = sim::FaultPlan::parse("degrade:0.5@2x2;degrade:0.5@3");
+  plan.begin_epoch(1);
+  EXPECT_DOUBLE_EQ(plan.link_bandwidth_scale(), 1.0);
+  plan.begin_epoch(2);
+  EXPECT_DOUBLE_EQ(plan.link_bandwidth_scale(), 0.5);
+  plan.begin_epoch(3);  // both active: multipliers compose
+  EXPECT_DOUBLE_EQ(plan.link_bandwidth_scale(), 0.25);
+  plan.begin_epoch(4);
+  EXPECT_DOUBLE_EQ(plan.link_bandwidth_scale(), 1.0);
+}
+
+// --- Injection through the machine/communicator --------------------------
+
+TEST(FaultInjection, FaultFreeRunIsBitIdentical) {
+  const graph::Dataset ds = small_dataset();
+  const auto base = run_plain(ds, 3, 4, nullptr);
+  const auto with_plan =
+      run_plain(ds, 3, 4, std::make_shared<sim::FaultPlan>());
+  ASSERT_EQ(base.size(), with_plan.size());
+  for (std::size_t e = 0; e < base.size(); ++e) {
+    EXPECT_EQ(base[e].loss, with_plan[e].loss) << "epoch " << e;
+    EXPECT_EQ(base[e].train_accuracy, with_plan[e].train_accuracy);
+    EXPECT_EQ(base[e].sim_seconds, with_plan[e].sim_seconds);
+    EXPECT_EQ(base[e].comm_retries, 0);
+    EXPECT_EQ(with_plan[e].comm_retries, 0);
+  }
+}
+
+TEST(FaultInjection, AbsorbedTransientsKeepNumericsStretchTimeline) {
+  const graph::Dataset ds = small_dataset();
+  const auto base = run_plain(ds, 3, 4, nullptr);
+  auto plan = std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("flaky:2@1;flaky:1@2"));
+  const auto faulty = run_plain(ds, 3, 4, plan);
+  for (std::size_t e = 0; e < base.size(); ++e) {
+    EXPECT_EQ(base[e].loss, faulty[e].loss) << "epoch " << e;
+    EXPECT_EQ(base[e].train_accuracy, faulty[e].train_accuracy);
+  }
+  EXPECT_EQ(faulty[0].comm_retries, 0);
+  EXPECT_EQ(faulty[1].comm_retries, 2);
+  EXPECT_EQ(faulty[2].comm_retries, 1);
+  EXPECT_GT(faulty[1].sim_seconds, base[1].sim_seconds);
+  EXPECT_NEAR(faulty[3].sim_seconds, base[3].sim_seconds, 1e-9);
+}
+
+TEST(FaultInjection, LinkDegradeKeepsNumericsStretchesTimeline) {
+  const graph::Dataset ds = small_dataset();
+  const auto base = run_plain(ds, 3, 4, nullptr);
+  auto plan = std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("degrade:0.25@1x2"));
+  const auto faulty = run_plain(ds, 3, 4, plan);
+  for (std::size_t e = 0; e < base.size(); ++e) {
+    EXPECT_EQ(base[e].loss, faulty[e].loss) << "epoch " << e;
+  }
+  EXPECT_GT(faulty[1].sim_seconds, base[1].sim_seconds);
+  EXPECT_GT(faulty[2].sim_seconds, base[2].sim_seconds);
+  EXPECT_NEAR(faulty[3].sim_seconds, base[3].sim_seconds, 1e-9);
+}
+
+TEST(FaultInjection, ExhaustedRetryBudgetSurfacesCommError) {
+  const graph::Dataset ds = small_dataset();
+  sim::Machine machine(sim::dgx_v100(), 3, sim::ExecutionMode::kReal);
+  machine.set_fault_plan(std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("flaky:16@1")));
+  core::MgGcnTrainer trainer(machine, ds, small_config());
+  EXPECT_NO_THROW(trainer.train_epoch());
+  try {
+    trainer.train_epoch();
+    FAIL() << "expected CommError";
+  } catch (const CommError& err) {
+    EXPECT_GT(err.attempts(), 4);  // default CommOptions::max_retries
+  }
+  machine.synchronize();  // drain the aborted epoch
+  EXPECT_GT(machine.trace().fault_count(sim::FaultEventKind::kCommRetry), 0u);
+}
+
+TEST(FaultInjection, DeviceFailureSurfacesDeviceLost) {
+  const graph::Dataset ds = small_dataset();
+  sim::Machine machine(sim::dgx_v100(), 3, sim::ExecutionMode::kReal);
+  machine.set_fault_plan(std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("kill:1@2")));
+  core::MgGcnTrainer trainer(machine, ds, small_config());
+  trainer.train_epoch();
+  trainer.train_epoch();
+  try {
+    trainer.train_epoch();
+    FAIL() << "expected DeviceLostError";
+  } catch (const DeviceLostError& err) {
+    EXPECT_EQ(err.rank(), 1);
+  }
+  machine.synchronize();
+  EXPECT_TRUE(machine.device(1).is_failed());
+  EXPECT_EQ(
+      machine.trace().fault_count(sim::FaultEventKind::kDeviceFailure, 2), 1u);
+}
+
+// --- Elastic recovery ----------------------------------------------------
+
+double final_loss(const std::vector<core::EpochStats>& stats) {
+  return stats.back().loss;
+}
+
+TEST(ElasticRecovery, DeviceFailureRecoversAndConverges) {
+  const graph::Dataset ds = learnable_dataset();
+  constexpr int kEpochs = 120;
+
+  core::ElasticTrainer fault_free(sim::dgx_v100(), 4, ds, small_config(),
+                                  nullptr);
+  const auto base = fault_free.train(kEpochs);
+  EXPECT_EQ(fault_free.num_devices(), 4);
+  EXPECT_TRUE(fault_free.recoveries().empty());
+
+  auto plan = std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("kill:2@20"));
+  core::ElasticTrainer elastic(sim::dgx_v100(), 4, ds, small_config(), plan);
+  const auto recovered = elastic.train(kEpochs);
+
+  EXPECT_EQ(elastic.num_devices(), 3);
+  ASSERT_EQ(elastic.recoveries().size(), 1u);
+  const core::RecoveryEvent& event = elastic.recoveries().front();
+  EXPECT_EQ(event.epoch, 20);
+  EXPECT_EQ(event.devices_before, 4);
+  EXPECT_EQ(event.devices_after, 3);
+  EXPECT_EQ(
+      elastic.machine().trace().fault_count(sim::FaultEventKind::kRecovery),
+      1u);
+
+  // Up to the failure epoch the trajectories agree to distributed-summation
+  // tolerance; after recovery both plateau to the same converged loss.
+  ASSERT_EQ(recovered.size(), base.size());
+  EXPECT_NEAR(final_loss(recovered), final_loss(base), 1e-5);
+  EXPECT_GT(recovered.back().train_accuracy, 0.85);
+}
+
+TEST(ElasticRecovery, CommRewindKeepsDeviceCountAndNumerics) {
+  const graph::Dataset ds = small_dataset();
+  constexpr int kEpochs = 6;
+
+  core::ElasticTrainer fault_free(sim::dgx_v100(), 3, ds, small_config(),
+                                  nullptr);
+  const auto base = fault_free.train(kEpochs);
+
+  // 12 failed attempts at epoch 3: two aborted tries (5 consumed each),
+  // then the remaining 2 are absorbed as ordinary retries.
+  auto plan = std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("flaky:12@3"));
+  core::ElasticTrainer elastic(sim::dgx_v100(), 3, ds, small_config(), plan);
+  const auto stats = elastic.train(kEpochs);
+
+  EXPECT_EQ(elastic.num_devices(), 3);
+  EXPECT_EQ(elastic.recoveries().size(), 2u);
+  for (const core::RecoveryEvent& event : elastic.recoveries()) {
+    EXPECT_EQ(event.devices_before, event.devices_after);
+  }
+  // Rewind-and-replay on the same machine is numerically invisible.
+  for (std::size_t e = 0; e < base.size(); ++e) {
+    EXPECT_EQ(base[e].loss, stats[e].loss) << "epoch " << e;
+  }
+  EXPECT_GT(elastic.total_sim_seconds(), fault_free.total_sim_seconds());
+}
+
+TEST(ElasticRecovery, BelowMinDevicesThrows) {
+  const graph::Dataset ds = small_dataset();
+  auto plan = std::make_shared<sim::FaultPlan>(
+      sim::FaultPlan::parse("kill:0@1;kill:0@2"));
+  core::ElasticOptions options;
+  options.min_devices = 2;
+  core::ElasticTrainer elastic(sim::dgx_v100(), 2, ds, small_config(), plan,
+                               options);
+  EXPECT_THROW(elastic.train(4), Error);
+}
+
+}  // namespace
+}  // namespace mggcn
