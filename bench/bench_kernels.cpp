@@ -3,9 +3,19 @@
 // input-gradient GeMM, and the elementwise/optimizer kernels. These measure
 // the *real* host implementations (the ones the correctness tests train
 // with), not the simulated-time model.
+//
+// The policy-dispatched kernels are registered once per KernelPolicy
+// (".../naive/..." and ".../tiled/...") and swept over feature dimensions
+// d in {32, 128, 512}, each reporting a flops_per_s counter — the stable
+// unit scripts/check_perf.py gates CI perf regressions on. Emit JSON with
+//   bench_kernels --benchmark_format=json --benchmark_out=kernels.json
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "core/gcn_kernels.hpp"
+#include "dense/kernel_policy.hpp"
 #include "dense/kernels.hpp"
 #include "graph/generators.hpp"
 #include "sparse/sddmm.hpp"
@@ -15,6 +25,10 @@
 using namespace mggcn;
 
 namespace {
+
+constexpr std::int64_t kFeatureSweep[] = {32, 128, 512};
+constexpr dense::KernelPolicy kPolicies[] = {dense::KernelPolicy::kNaive,
+                                             dense::KernelPolicy::kTiled};
 
 sparse::Csr random_graph(std::int64_t n, double degree) {
   util::Rng rng(7);
@@ -31,9 +45,17 @@ dense::HostMatrix random_matrix(std::int64_t rows, std::int64_t cols) {
   return m;
 }
 
-void BM_Spmm(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto d = state.range(1);
+/// Reports total floating-point throughput as the counter the CI perf gate
+/// keys on (rendered as GFLOP/s by the console reporter).
+void set_flops_counter(benchmark::State& state, double flops_per_iteration) {
+  state.counters["flops_per_s"] = benchmark::Counter(
+      flops_per_iteration, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void bm_spmm(benchmark::State& state, dense::KernelPolicy policy,
+             std::int64_t n, std::int64_t d) {
+  dense::ScopedKernelPolicy scope(policy);
   const sparse::Csr a = random_graph(n, 16.0);
   const dense::HostMatrix b = random_matrix(n, d);
   dense::HostMatrix c(n, d);
@@ -42,48 +64,78 @@ void BM_Spmm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * a.nnz() * d);
+  set_flops_counter(state, 2.0 * static_cast<double>(a.nnz() * d));
 }
-BENCHMARK(BM_Spmm)->Args({4096, 64})->Args({4096, 256})->Args({16384, 64});
 
-void BM_Gemm(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto k = state.range(1);
-  const dense::HostMatrix a = random_matrix(n, k);
-  const dense::HostMatrix b = random_matrix(k, k);
-  dense::HostMatrix c(n, k);
+void bm_gemm(benchmark::State& state, dense::KernelPolicy policy,
+             std::int64_t m, std::int64_t d) {
+  dense::ScopedKernelPolicy scope(policy);
+  const dense::HostMatrix a = random_matrix(m, d);
+  const dense::HostMatrix b = random_matrix(d, d);
+  dense::HostMatrix c(m, d);
   for (auto _ : state) {
     dense::gemm(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * k * k);
+  state.SetItemsProcessed(state.iterations() * 2 * m * d * d);
+  set_flops_counter(state, 2.0 * static_cast<double>(m * d * d));
 }
-BENCHMARK(BM_Gemm)->Args({2048, 64})->Args({2048, 256});
 
-void BM_GemmAtB(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto k = state.range(1);
-  const dense::HostMatrix a = random_matrix(n, k);
-  const dense::HostMatrix b = random_matrix(n, k);
-  dense::HostMatrix c(k, k);
+void bm_gemm_at_b(benchmark::State& state, dense::KernelPolicy policy,
+                  std::int64_t m, std::int64_t d) {
+  dense::ScopedKernelPolicy scope(policy);
+  const dense::HostMatrix a = random_matrix(m, d);
+  const dense::HostMatrix b = random_matrix(m, d);
+  dense::HostMatrix c(d, d);
   for (auto _ : state) {
     dense::gemm_at_b(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
+  set_flops_counter(state, 2.0 * static_cast<double>(m * d * d));
 }
-BENCHMARK(BM_GemmAtB)->Args({2048, 64})->Args({2048, 256});
 
-void BM_GemmABtMasked(benchmark::State& state) {
-  const auto n = state.range(0);
-  const auto k = state.range(1);
-  const dense::HostMatrix a = random_matrix(n, k);
-  const dense::HostMatrix w = random_matrix(k, k);
-  dense::HostMatrix c = random_matrix(n, k);
+void bm_gemm_a_bt_masked(benchmark::State& state, dense::KernelPolicy policy,
+                         std::int64_t m, std::int64_t d) {
+  dense::ScopedKernelPolicy scope(policy);
+  const dense::HostMatrix a = random_matrix(m, d);
+  const dense::HostMatrix w = random_matrix(d, d);
+  const dense::HostMatrix activation = random_matrix(m, d);
+  dense::HostMatrix c(m, d);
   for (auto _ : state) {
+    state.PauseTiming();
+    c = activation;  // the mask is consumed in place each iteration
+    state.ResumeTiming();
     dense::gemm_a_bt_relu_masked(a.view(), w.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
+  set_flops_counter(state, 2.0 * static_cast<double>(m * d * d));
 }
-BENCHMARK(BM_GemmABtMasked)->Args({2048, 64})->Args({2048, 256});
+
+void register_policy_benchmarks() {
+  for (const auto policy : kPolicies) {
+    const std::string tag = dense::kernel_policy_name(policy);
+    for (const std::int64_t d : kFeatureSweep) {
+      for (const std::int64_t n : {4096, 16384}) {
+        benchmark::RegisterBenchmark(
+            ("Spmm/" + tag + "/n:" + std::to_string(n) +
+             "/d:" + std::to_string(d))
+                .c_str(),
+            bm_spmm, policy, n, d);
+      }
+      benchmark::RegisterBenchmark(
+          ("Gemm/" + tag + "/m:2048/d:" + std::to_string(d)).c_str(), bm_gemm,
+          policy, 2048, d);
+      benchmark::RegisterBenchmark(
+          ("GemmAtB/" + tag + "/m:2048/d:" + std::to_string(d)).c_str(),
+          bm_gemm_at_b, policy, 2048, d);
+      benchmark::RegisterBenchmark(
+          ("GemmABtMasked/" + tag + "/m:2048/d:" + std::to_string(d)).c_str(),
+          bm_gemm_a_bt_masked, policy, 2048, d);
+    }
+  }
+}
+
+// --- policy-independent kernels (sparse attention, elementwise, optimizer) --
 
 void BM_Sddmm(benchmark::State& state) {
   const auto n = state.range(0);
@@ -96,6 +148,7 @@ void BM_Sddmm(benchmark::State& state) {
     benchmark::DoNotOptimize(out.values().data());
   }
   state.SetItemsProcessed(state.iterations() * pattern.nnz() * d);
+  set_flops_counter(state, 2.0 * static_cast<double>(pattern.nnz() * d));
 }
 BENCHMARK(BM_Sddmm)->Args({4096, 32})->Args({4096, 128});
 
@@ -157,4 +210,11 @@ BENCHMARK(BM_Adam)->Arg(1 << 14)->Arg(1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_policy_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench_kernels JSON output.
+
+Reads a google-benchmark JSON file (produced with
+``bench_kernels --benchmark_format=json --benchmark_out=kernels.json``)
+and enforces two properties:
+
+1. **No throughput regression**: every benchmark that reports a
+   ``flops_per_s`` counter and appears in the committed baseline
+   (``scripts/perf_baseline.json``) must reach at least
+   ``(1 - max_regression)`` of its baseline throughput. The baseline is
+   machine-specific, so this check is strict on the machine that recorded
+   it and advisory elsewhere (pass ``--max-regression 1`` to disable).
+
+2. **Tiled beats naive**: for every benchmark name containing a
+   ``/naive/`` policy segment with a ``/tiled/`` twin, the tiled
+   throughput must be at least ``--min-speedup`` times the naive one.
+   This check is machine-independent: both numbers come from the same
+   run on the same host.
+
+Refresh the baseline after an intentional perf change with::
+
+    ./build/bench/bench_kernels --benchmark_format=json \
+        --benchmark_out=kernels.json
+    python3 scripts/check_perf.py kernels.json --update
+
+Exit status is 0 when all checks pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
+COUNTER = "flops_per_s"
+
+
+def load_throughputs(path: Path) -> dict[str, float]:
+    """Maps benchmark name -> flops_per_s for every benchmark reporting it.
+
+    Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+    skipped except the median, which replaces the per-iteration rows.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    plain: dict[str, float] = {}
+    medians: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        if COUNTER not in bench:
+            continue
+        value = float(bench[COUNTER])
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench.get("run_name", bench["name"])] = value
+            continue
+        plain[bench["name"]] = value
+    plain.update(medians)
+    return plain
+
+
+def check_regressions(current: dict[str, float], baseline: dict[str, float],
+                      max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"missing from current run: {name}")
+            continue
+        floor = base * (1.0 - max_regression)
+        if current[name] < floor:
+            failures.append(
+                f"regression: {name}: {current[name]:.3e} {COUNTER} < "
+                f"{floor:.3e} (baseline {base:.3e}, allowed -"
+                f"{max_regression:.0%})")
+    return failures
+
+
+def check_speedups(current: dict[str, float],
+                   min_speedup: float) -> tuple[list[str], list[str]]:
+    failures, report = [], []
+    for name, naive in sorted(current.items()):
+        if "/naive/" not in name:
+            continue
+        twin = name.replace("/naive/", "/tiled/")
+        if twin not in current:
+            continue
+        speedup = current[twin] / naive if naive > 0 else float("inf")
+        report.append(f"{twin}: {speedup:.2f}x over naive")
+        if speedup < min_speedup:
+            failures.append(
+                f"speedup below floor: {twin} is {speedup:.2f}x over naive "
+                f"(required {min_speedup:.2f}x)")
+    return failures, report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="bench_kernels JSON from this run")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional throughput drop vs the "
+                        "baseline (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required tiled-over-naive throughput ratio "
+                        "(default: %(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run "
+                        "instead of checking against it")
+    args = parser.parse_args()
+
+    current = load_throughputs(args.current)
+    if not current:
+        print(f"error: no '{COUNTER}' counters in {args.current}",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        payload = {
+            "_comment": "Recorded bench_kernels throughput; refresh with "
+                        "scripts/check_perf.py <json> --update after an "
+                        "intentional perf change.",
+            "counter": COUNTER,
+            "benchmarks": {k: current[k] for k in sorted(current)},
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    failures: list[str] = []
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())["benchmarks"]
+        failures += check_regressions(current, baseline, args.max_regression)
+    else:
+        print(f"warning: baseline {args.baseline} not found; skipping the "
+              f"regression check", file=sys.stderr)
+
+    speedup_failures, report = check_speedups(current, args.min_speedup)
+    failures += speedup_failures
+    for line in report:
+        print(line)
+
+    if failures:
+        print(f"\ncheck_perf: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_perf: OK ({len(current)} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

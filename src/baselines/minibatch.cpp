@@ -86,11 +86,7 @@ MiniBatchTrainer::EpochResult MiniBatchTrainer::train_epoch() {
     const auto& deepest = sub.layers.back();
     dense::HostMatrix h(static_cast<std::int64_t>(deepest.size()),
                         dims_.front());
-    for (std::size_t i = 0; i < deepest.size(); ++i) {
-      dense::copy(dataset_.features.view().row(deepest[i]),
-                  h.view().row(static_cast<std::int64_t>(i)),
-                  dims_.front());
-    }
+    dense::gather_rows(dataset_.features.view(), deepest.data(), h.view());
 
     std::vector<dense::HostMatrix> z_cache;   // block * h per level
     std::vector<dense::HostMatrix> h_cache;   // inputs per level

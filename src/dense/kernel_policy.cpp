@@ -1,0 +1,78 @@
+#include "dense/kernel_policy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "dense/kernels.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::dense {
+
+namespace {
+
+KernelPolicy policy_from_env() {
+  const char* env = std::getenv("MGGCN_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelPolicy::kTiled;
+  const auto parsed = parse_kernel_policy(env);
+  MGGCN_CHECK_MSG(parsed.has_value(),
+                  std::string("MGGCN_KERNELS must be 'naive' or 'tiled', "
+                              "got '") +
+                      env + "'");
+  return *parsed;
+}
+
+std::atomic<KernelPolicy>& active_policy() {
+  static std::atomic<KernelPolicy> policy{policy_from_env()};
+  return policy;
+}
+
+DenseKernelTable* tables() {
+  static DenseKernelTable registered[kNumKernelPolicies] = {
+      {&naive::gemm, &naive::gemm_at_b, &naive::gemm_a_bt,
+       &naive::gemm_a_bt_relu_masked},
+      {&tiled::gemm, &tiled::gemm_at_b, &tiled::gemm_a_bt,
+       &tiled::gemm_a_bt_relu_masked},
+  };
+  return registered;
+}
+
+}  // namespace
+
+const char* kernel_policy_name(KernelPolicy policy) {
+  switch (policy) {
+    case KernelPolicy::kNaive:
+      return "naive";
+    case KernelPolicy::kTiled:
+      return "tiled";
+  }
+  return "unknown";
+}
+
+std::optional<KernelPolicy> parse_kernel_policy(std::string_view name) {
+  if (name == "naive") return KernelPolicy::kNaive;
+  if (name == "tiled") return KernelPolicy::kTiled;
+  return std::nullopt;
+}
+
+KernelPolicy kernel_policy() {
+  return active_policy().load(std::memory_order_relaxed);
+}
+
+void set_kernel_policy(KernelPolicy policy) {
+  active_policy().store(policy, std::memory_order_relaxed);
+}
+
+const DenseKernelTable& dense_kernels(KernelPolicy policy) {
+  return tables()[static_cast<int>(policy)];
+}
+
+void register_dense_kernels(KernelPolicy policy,
+                            const DenseKernelTable& table) {
+  MGGCN_CHECK_MSG(table.gemm != nullptr && table.gemm_at_b != nullptr &&
+                      table.gemm_a_bt != nullptr &&
+                      table.gemm_a_bt_relu_masked != nullptr,
+                  "kernel table must be fully populated");
+  tables()[static_cast<int>(policy)] = table;
+}
+
+}  // namespace mggcn::dense

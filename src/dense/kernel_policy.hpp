@@ -1,0 +1,80 @@
+// Host-kernel policy registry.
+//
+// Every real-execution compute path (trainer epochs, baselines, benches,
+// tests) funnels through the dense GeMM variants and the CSR SpMM. This
+// registry lets callers pick between implementations at runtime:
+//
+//   - `naive`: the original straightforward loops, kept as the correctness
+//     reference that tests diff the optimized kernels against.
+//   - `tiled`: register-tiled, cache-blocked, auto-vectorizable kernels
+//     (the default) — the host stand-in for the cuBLAS/cuSPARSE efficiency
+//     the paper's performance story is built on (§4.4).
+//
+// Selection: set_kernel_policy() programmatically, or the MGGCN_KERNELS
+// environment variable ("naive" | "tiled") read once at first use. Benches
+// expose it as a CLI sweep so both policies land in the same JSON artifact
+// for the perf-regression gate (scripts/check_perf.py).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "dense/matrix.hpp"
+
+namespace mggcn::dense {
+
+enum class KernelPolicy { kNaive = 0, kTiled = 1 };
+
+inline constexpr int kNumKernelPolicies = 2;
+
+/// Stable lower-case name ("naive" | "tiled") for logs, CLI, and JSON.
+[[nodiscard]] const char* kernel_policy_name(KernelPolicy policy);
+
+/// Parses a policy name; nullopt when unknown.
+[[nodiscard]] std::optional<KernelPolicy> parse_kernel_policy(
+    std::string_view name);
+
+/// The active policy. Defaults to kTiled, overridable once via the
+/// MGGCN_KERNELS environment variable; throws InvalidArgumentError on an
+/// unknown MGGCN_KERNELS value so experiment-script typos fail loudly.
+[[nodiscard]] KernelPolicy kernel_policy();
+
+/// Installs `policy` as the active policy (e.g. from a --kernels CLI flag).
+void set_kernel_policy(KernelPolicy policy);
+
+/// RAII policy override for tests and benches that diff the two paths.
+class ScopedKernelPolicy {
+ public:
+  explicit ScopedKernelPolicy(KernelPolicy policy) : previous_(kernel_policy()) {
+    set_kernel_policy(policy);
+  }
+  ~ScopedKernelPolicy() { set_kernel_policy(previous_); }
+  ScopedKernelPolicy(const ScopedKernelPolicy&) = delete;
+  ScopedKernelPolicy& operator=(const ScopedKernelPolicy&) = delete;
+
+ private:
+  KernelPolicy previous_;
+};
+
+/// Per-policy dense kernel entry points. The dispatching wrappers in
+/// kernels.hpp look the active table up per call, so flipping the policy
+/// mid-process (tests) immediately reroutes every caller.
+struct DenseKernelTable {
+  using GemmFn = void (*)(ConstMatrixView, ConstMatrixView, MatrixView, float,
+                          float);
+  using GemmMaskedFn = void (*)(ConstMatrixView, ConstMatrixView, MatrixView);
+
+  GemmFn gemm = nullptr;
+  GemmFn gemm_at_b = nullptr;
+  GemmFn gemm_a_bt = nullptr;
+  GemmMaskedFn gemm_a_bt_relu_masked = nullptr;
+};
+
+/// The kernel table registered for `policy`.
+[[nodiscard]] const DenseKernelTable& dense_kernels(KernelPolicy policy);
+
+/// Replaces the table for `policy` (hook for future backends, e.g. a BLAS
+/// binding); the built-in naive and tiled tables are pre-registered.
+void register_dense_kernels(KernelPolicy policy, const DenseKernelTable& table);
+
+}  // namespace mggcn::dense

@@ -28,6 +28,8 @@ double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
   return m;
 }
 
+namespace naive {
+
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
           float beta) {
   check_gemm_shapes(a.rows, a.cols, b.rows, b.cols, c.rows, c.cols);
@@ -127,6 +129,28 @@ void gemm_a_bt_relu_masked(ConstMatrixView a, ConstMatrixView b,
   }
 }
 
+}  // namespace naive
+
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+          float beta) {
+  dense_kernels(kernel_policy()).gemm(a, b, c, alpha, beta);
+}
+
+void gemm_at_b(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta) {
+  dense_kernels(kernel_policy()).gemm_at_b(a, b, c, alpha, beta);
+}
+
+void gemm_a_bt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta) {
+  dense_kernels(kernel_policy()).gemm_a_bt(a, b, c, alpha, beta);
+}
+
+void gemm_a_bt_relu_masked(ConstMatrixView a, ConstMatrixView b,
+                           MatrixView c) {
+  dense_kernels(kernel_policy()).gemm_a_bt_relu_masked(a, b, c);
+}
+
 void relu_forward(const float* in, float* out, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) {
     out[i] = in[i] > 0.0f ? in[i] : 0.0f;
@@ -151,6 +175,18 @@ void copy(const float* src, float* dst, std::int64_t n) {
 void axpy(const float* x, float* y, std::int64_t n, float alpha) {
   for (std::int64_t i = 0; i < n; ++i) {
     y[i] += alpha * x[i];
+  }
+}
+
+void gather_rows(ConstMatrixView src, const std::uint32_t* idx,
+                 MatrixView out) {
+  MGGCN_CHECK_MSG(src.cols == out.cols, "gather_rows width mismatch");
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(src.cols) * sizeof(float);
+  for (std::int64_t i = 0; i < out.rows; ++i) {
+    const std::int64_t r = static_cast<std::int64_t>(idx[i]);
+    MGGCN_CHECK_MSG(r < src.rows, "gather_rows index out of range");
+    std::memcpy(out.row(i), src.row(r), row_bytes);
   }
 }
 

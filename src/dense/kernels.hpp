@@ -1,17 +1,47 @@
 // Dense kernels (host implementations of what cuBLAS + fused elementwise
 // kernels do in the paper's system) and their cost descriptors.
 //
+// The GeMM entry points below dispatch through the kernel-policy registry
+// (kernel_policy.hpp): `naive::` holds the original reference loops and
+// `tiled::` the register-tiled, cache-blocked implementations; the
+// unqualified functions route to whichever policy is active. Call the
+// namespaced variants directly only to diff the two paths.
+//
 // The cost functions return KernelCost records for the simulated timeline;
 // they are pure functions of the shapes so phantom-mode runs produce the
-// same schedule as real runs.
+// same schedule as real runs — the kernel policy changes wall-clock time
+// only, never the simulated timeline.
 #pragma once
 
 #include <cstdint>
 
+#include "dense/kernel_policy.hpp"
 #include "dense/matrix.hpp"
 #include "sim/cost_model.hpp"
 
 namespace mggcn::dense {
+
+/// Reference implementations (the correctness oracle for the tiled path).
+namespace naive {
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+          float beta);
+void gemm_at_b(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta);
+void gemm_a_bt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta);
+void gemm_a_bt_relu_masked(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+}  // namespace naive
+
+/// Register-tiled, k-panel cache-blocked, auto-vectorizable implementations.
+namespace tiled {
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+          float beta);
+void gemm_at_b(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta);
+void gemm_a_bt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
+               float beta);
+void gemm_a_bt_relu_masked(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+}  // namespace tiled
 
 /// C = alpha * A(m x k) * B(k x n) + beta * C.
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
@@ -47,6 +77,12 @@ void fill(float* dst, std::int64_t n, float value);
 void copy(const float* src, float* dst, std::int64_t n);
 /// y += alpha * x.
 void axpy(const float* x, float* y, std::int64_t n, float alpha);
+
+/// out.row(i) = src.row(idx[i]) for i in [0, out.rows): the batched feature
+/// gather that assembles a sampled frontier's input block (one memcpy per
+/// row beats per-row copy() calls in the minibatch baselines).
+void gather_rows(ConstMatrixView src, const std::uint32_t* idx,
+                 MatrixView out);
 
 /// Cost of a GeMM of the given shape (counts one kernel launch).
 [[nodiscard]] sim::KernelCost gemm_cost(std::int64_t m, std::int64_t n,

@@ -4,11 +4,22 @@
 
 namespace mggcn::sparse {
 
-void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
-          float alpha, float beta) {
+namespace {
+
+void check_spmm_shapes(const Csr& a, dense::ConstMatrixView b,
+                       dense::MatrixView c) {
   MGGCN_CHECK_MSG(a.cols() == b.rows, "spmm inner dimensions must agree");
   MGGCN_CHECK_MSG(a.rows() == c.rows && b.cols == c.cols,
                   "spmm output shape mismatch");
+}
+
+}  // namespace
+
+namespace naive {
+
+void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
+          float alpha, float beta) {
+  check_spmm_shapes(a, b, c);
   const std::int64_t d = b.cols;
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
@@ -16,13 +27,23 @@ void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
 
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     float* out = c.row(r);
+    std::int64_t e = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t e_end = row_ptr[static_cast<std::size_t>(r) + 1];
     if (beta == 0.0f) {
-      for (std::int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+      if (e == e_end) {
+        for (std::int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+        continue;
+      }
+      // Initialize the output row from the first nonzero instead of a
+      // separate zeroing pass (bit-identical to the tiled path).
+      const float w = alpha * values[static_cast<std::size_t>(e)];
+      const float* src = b.row(col_idx[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < d; ++j) out[j] = w * src[j];
+      ++e;
     } else if (beta != 1.0f) {
       for (std::int64_t j = 0; j < d; ++j) out[j] *= beta;
     }
-    for (std::int64_t e = row_ptr[static_cast<std::size_t>(r)];
-         e < row_ptr[static_cast<std::size_t>(r) + 1]; ++e) {
+    for (; e < e_end; ++e) {
       const float w = alpha * values[static_cast<std::size_t>(e)];
       const float* src = b.row(col_idx[static_cast<std::size_t>(e)]);
       for (std::int64_t j = 0; j < d; ++j) {
@@ -30,6 +51,30 @@ void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
       }
     }
   }
+}
+
+}  // namespace naive
+
+// tiled::spmm lives in spmm_tiled.cpp (compiled at -O3; see CMakeLists.txt).
+
+namespace {
+
+SpmmFn* spmm_table() {
+  static SpmmFn registered[dense::kNumKernelPolicies] = {&naive::spmm,
+                                                         &tiled::spmm};
+  return registered;
+}
+
+}  // namespace
+
+void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
+          float alpha, float beta) {
+  spmm_table()[static_cast<int>(dense::kernel_policy())](a, b, c, alpha, beta);
+}
+
+void register_spmm(dense::KernelPolicy policy, SpmmFn fn) {
+  MGGCN_CHECK_MSG(fn != nullptr, "spmm backend must be non-null");
+  spmm_table()[static_cast<int>(policy)] = fn;
 }
 
 sim::KernelCost spmm_cost(std::int64_t nnz, std::int64_t out_rows,

@@ -1,0 +1,286 @@
+// Property tests for the kernel-policy registry: the tiled kernels against
+// the naive reference across alpha/beta combinations, ragged shapes (rows,
+// columns, and inner dimensions that are not multiples of the register
+// tile), and CSR inputs with empty and high-degree rows; plus the
+// bit-for-bit beta == 0 SpMM agreement both policies promise, and the
+// policy selection machinery itself.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "dense/kernel_policy.hpp"
+#include "dense/kernels.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/spmm.hpp"
+#include "util/rng.hpp"
+
+namespace mggcn {
+namespace {
+
+constexpr float kAlphas[] = {0.0f, 1.0f, 0.5f};
+constexpr float kBetas[] = {0.0f, 1.0f, 0.5f};
+
+dense::HostMatrix random_matrix(std::int64_t rows, std::int64_t cols,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  dense::HostMatrix m(rows, cols);
+  m.init_gaussian(rng);
+  return m;
+}
+
+/// max|a - b| <= tol * max(1, max|a|): a relative tolerance on the scale of
+/// the result, robust to near-zero entries.
+void expect_close(dense::ConstMatrixView a, dense::ConstMatrixView b,
+                  double tol, const std::string& what) {
+  double scale = 1.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    scale = std::max(scale, static_cast<double>(std::fabs(a.data[i])));
+  }
+  EXPECT_LE(dense::max_abs_diff(a, b), tol * scale) << what;
+}
+
+std::string case_name(const char* kernel, std::int64_t m, std::int64_t k,
+                      std::int64_t n, float alpha, float beta) {
+  std::ostringstream os;
+  os << kernel << " m=" << m << " k=" << k << " n=" << n << " alpha=" << alpha
+     << " beta=" << beta;
+  return os.str();
+}
+
+/// Shapes chosen to exercise every tail path of the tiled kernels: single
+/// elements, tiles narrower than kNr, dimensions straddling the register
+/// tile (4 x 16) and the k panel (256).
+const std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>>
+    kRaggedShapes = {
+        {1, 1, 1},    {3, 5, 7},     {4, 16, 16},   {7, 300, 19},
+        {17, 33, 9},  {33, 17, 65},  {64, 64, 64},  {130, 70, 40},
+        {5, 513, 33}, {61, 127, 129}};
+
+TEST(KernelPolicyProperty, TiledGemmMatchesNaive) {
+  for (const auto& [m, k, n] : kRaggedShapes) {
+    const dense::HostMatrix a = random_matrix(m, k, 1);
+    const dense::HostMatrix b = random_matrix(k, n, 2);
+    const dense::HostMatrix c0 = random_matrix(m, n, 3);
+    for (float alpha : kAlphas) {
+      for (float beta : kBetas) {
+        dense::HostMatrix c_naive = c0;
+        dense::HostMatrix c_tiled = c0;
+        dense::naive::gemm(a.view(), b.view(), c_naive.view(), alpha, beta);
+        dense::tiled::gemm(a.view(), b.view(), c_tiled.view(), alpha, beta);
+        expect_close(c_naive.view(), c_tiled.view(), 1e-5,
+                     case_name("gemm", m, k, n, alpha, beta));
+      }
+    }
+  }
+}
+
+TEST(KernelPolicyProperty, TiledGemmAtBMatchesNaive) {
+  for (const auto& [m, k, n] : kRaggedShapes) {
+    const dense::HostMatrix a = random_matrix(k, m, 4);  // participates as A^T
+    const dense::HostMatrix b = random_matrix(k, n, 5);
+    const dense::HostMatrix c0 = random_matrix(m, n, 6);
+    for (float alpha : kAlphas) {
+      for (float beta : kBetas) {
+        dense::HostMatrix c_naive = c0;
+        dense::HostMatrix c_tiled = c0;
+        dense::naive::gemm_at_b(a.view(), b.view(), c_naive.view(), alpha,
+                                beta);
+        dense::tiled::gemm_at_b(a.view(), b.view(), c_tiled.view(), alpha,
+                                beta);
+        expect_close(c_naive.view(), c_tiled.view(), 1e-5,
+                     case_name("gemm_at_b", m, k, n, alpha, beta));
+      }
+    }
+  }
+}
+
+TEST(KernelPolicyProperty, TiledGemmABtMatchesNaive) {
+  for (const auto& [m, k, n] : kRaggedShapes) {
+    const dense::HostMatrix a = random_matrix(m, k, 7);
+    const dense::HostMatrix b = random_matrix(n, k, 8);  // participates as B^T
+    const dense::HostMatrix c0 = random_matrix(m, n, 9);
+    for (float alpha : kAlphas) {
+      for (float beta : kBetas) {
+        dense::HostMatrix c_naive = c0;
+        dense::HostMatrix c_tiled = c0;
+        dense::naive::gemm_a_bt(a.view(), b.view(), c_naive.view(), alpha,
+                                beta);
+        dense::tiled::gemm_a_bt(a.view(), b.view(), c_tiled.view(), alpha,
+                                beta);
+        expect_close(c_naive.view(), c_tiled.view(), 1e-5,
+                     case_name("gemm_a_bt", m, k, n, alpha, beta));
+      }
+    }
+  }
+}
+
+TEST(KernelPolicyProperty, TiledMaskedGemmMatchesNaive) {
+  for (const auto& [m, k, n] : kRaggedShapes) {
+    const dense::HostMatrix a = random_matrix(m, k, 10);
+    const dense::HostMatrix b = random_matrix(n, k, 11);
+    // The activation consumed for the ReLU mask: roughly half the entries
+    // are positive, so both the masked and active tile paths run.
+    const dense::HostMatrix c0 = random_matrix(m, n, 12);
+    dense::HostMatrix c_naive = c0;
+    dense::HostMatrix c_tiled = c0;
+    dense::naive::gemm_a_bt_relu_masked(a.view(), b.view(), c_naive.view());
+    dense::tiled::gemm_a_bt_relu_masked(a.view(), b.view(), c_tiled.view());
+    expect_close(c_naive.view(), c_tiled.view(), 1e-5,
+                 case_name("masked", m, k, n, 1.0f, 0.0f));
+  }
+}
+
+/// CSR with forced empty rows, one dense (high-degree) row to exercise the
+/// edge-batched path, and otherwise random structure.
+sparse::Csr ragged_csr(std::int64_t rows, std::int64_t cols, double density,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> row_ptr{0};
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const bool force_empty = r % 5 == 2 || r == rows - 1;
+    const bool force_dense = r == rows / 2;
+    if (!force_empty) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (force_dense || rng.bernoulli(density)) {
+          col_idx.push_back(static_cast<std::uint32_t>(c));
+          values.push_back(static_cast<float>(rng.gaussian()));
+        }
+      }
+    }
+    row_ptr.push_back(static_cast<std::int64_t>(col_idx.size()));
+  }
+  return {rows, cols, std::move(row_ptr), std::move(col_idx),
+          std::move(values)};
+}
+
+TEST(KernelPolicyProperty, TiledSpmmMatchesNaive) {
+  for (const auto& [rows, cols, d] :
+       std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>>{
+           {1, 1, 1}, {9, 7, 5}, {40, 31, 33}, {64, 64, 130}, {33, 50, 257}}) {
+    const sparse::Csr a = ragged_csr(rows, cols, 0.2, 13);
+    const dense::HostMatrix b = random_matrix(cols, d, 14);
+    const dense::HostMatrix c0 = random_matrix(rows, d, 15);
+    for (float alpha : kAlphas) {
+      for (float beta : kBetas) {
+        dense::HostMatrix c_naive = c0;
+        dense::HostMatrix c_tiled = c0;
+        sparse::naive::spmm(a, b.view(), c_naive.view(), alpha, beta);
+        sparse::tiled::spmm(a, b.view(), c_tiled.view(), alpha, beta);
+        expect_close(c_naive.view(), c_tiled.view(), 1e-5,
+                     case_name("spmm", rows, cols, d, alpha, beta));
+      }
+    }
+  }
+}
+
+TEST(KernelPolicyProperty, SpmmPoliciesBitIdenticalAtBetaZero) {
+  // Both policies initialize the output row from the first nonzero and
+  // accumulate edges in CSR order per element, so at beta == 0 they must
+  // agree bit-for-bit — not just within tolerance.
+  for (std::int64_t d : {1, 33, 64, 130, 257}) {
+    const sparse::Csr a = ragged_csr(50, 41, 0.3, 16);
+    const dense::HostMatrix b = random_matrix(41, d, 17);
+    for (float alpha : {1.0f, 0.5f}) {
+      dense::HostMatrix c_naive(50, d);
+      dense::HostMatrix c_tiled(50, d);
+      c_naive.fill(7.0f);  // stale contents that beta == 0 must ignore
+      c_tiled.fill(-3.0f);
+      sparse::naive::spmm(a, b.view(), c_naive.view(), alpha, 0.0f);
+      sparse::tiled::spmm(a, b.view(), c_tiled.view(), alpha, 0.0f);
+      EXPECT_EQ(std::memcmp(c_naive.data(), c_tiled.data(),
+                            static_cast<std::size_t>(c_naive.size()) *
+                                sizeof(float)),
+                0)
+          << "d=" << d << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(KernelPolicy, ParseAndName) {
+  EXPECT_EQ(dense::parse_kernel_policy("naive"), dense::KernelPolicy::kNaive);
+  EXPECT_EQ(dense::parse_kernel_policy("tiled"), dense::KernelPolicy::kTiled);
+  EXPECT_FALSE(dense::parse_kernel_policy("blas").has_value());
+  EXPECT_STREQ(dense::kernel_policy_name(dense::KernelPolicy::kNaive),
+               "naive");
+  EXPECT_STREQ(dense::kernel_policy_name(dense::KernelPolicy::kTiled),
+               "tiled");
+}
+
+TEST(KernelPolicy, ScopedOverrideRestores) {
+  const dense::KernelPolicy before = dense::kernel_policy();
+  {
+    dense::ScopedKernelPolicy scope(dense::KernelPolicy::kNaive);
+    EXPECT_EQ(dense::kernel_policy(), dense::KernelPolicy::kNaive);
+    {
+      dense::ScopedKernelPolicy inner(dense::KernelPolicy::kTiled);
+      EXPECT_EQ(dense::kernel_policy(), dense::KernelPolicy::kTiled);
+    }
+    EXPECT_EQ(dense::kernel_policy(), dense::KernelPolicy::kNaive);
+  }
+  EXPECT_EQ(dense::kernel_policy(), before);
+}
+
+int g_counting_gemm_calls = 0;
+void counting_gemm(dense::ConstMatrixView a, dense::ConstMatrixView b,
+                   dense::MatrixView c, float alpha, float beta) {
+  ++g_counting_gemm_calls;
+  dense::naive::gemm(a, b, c, alpha, beta);
+}
+
+TEST(KernelPolicy, RegistryRoutesDispatch) {
+  const dense::DenseKernelTable original =
+      dense::dense_kernels(dense::KernelPolicy::kNaive);
+  dense::DenseKernelTable table = original;
+  table.gemm = &counting_gemm;
+  dense::register_dense_kernels(dense::KernelPolicy::kNaive, table);
+
+  const dense::HostMatrix a = random_matrix(4, 4, 18);
+  const dense::HostMatrix b = random_matrix(4, 4, 19);
+  dense::HostMatrix c(4, 4);
+  {
+    dense::ScopedKernelPolicy scope(dense::KernelPolicy::kNaive);
+    g_counting_gemm_calls = 0;
+    dense::gemm(a.view(), b.view(), c.view());
+    EXPECT_EQ(g_counting_gemm_calls, 1);
+    dense::ScopedKernelPolicy inner(dense::KernelPolicy::kTiled);
+    dense::gemm(a.view(), b.view(), c.view());
+    EXPECT_EQ(g_counting_gemm_calls, 1);  // tiled table untouched
+  }
+  dense::register_dense_kernels(dense::KernelPolicy::kNaive, original);
+}
+
+TEST(KernelPolicy, TrainerNumericsMatchAcrossPolicies) {
+  // End-to-end guard for the acceptance bar: the serial reference trainer's
+  // logits under the tiled policy match the naive policy within 1e-4.
+  graph::DatasetSpec spec = graph::cora();
+  spec.n = 200;
+  spec.feature_dim = 24;
+  spec.num_classes = 5;
+  spec.avg_degree = 8.0;
+  graph::DatasetOptions options;
+  options.seed = 11;
+  const graph::Dataset ds = graph::make_dataset(spec, options);
+
+  core::TrainConfig config;
+  config.hidden_dims = {16};
+  config.seed = 3;
+
+  auto run = [&](dense::KernelPolicy policy) {
+    dense::ScopedKernelPolicy scope(policy);
+    core::ReferenceTrainer trainer(ds, config);
+    for (int epoch = 0; epoch < 3; ++epoch) trainer.train_epoch();
+    return trainer.forward();
+  };
+  const dense::HostMatrix logits_naive = run(dense::KernelPolicy::kNaive);
+  const dense::HostMatrix logits_tiled = run(dense::KernelPolicy::kTiled);
+  EXPECT_LT(dense::max_abs_diff(logits_naive.view(), logits_tiled.view()),
+            1e-4);
+}
+
+}  // namespace
+}  // namespace mggcn
