@@ -5,12 +5,20 @@
 // with), not the simulated-time model.
 //
 // The policy-dispatched kernels are registered once per KernelPolicy
-// (".../naive/..." and ".../tiled/...") and swept over feature dimensions
-// d in {32, 128, 512}, each reporting a flops_per_s counter — the stable
-// unit scripts/check_perf.py gates CI perf regressions on. Emit JSON with
+// (".../naive/...", ".../tiled/...", and for SpMM ".../planned/...") and
+// swept over feature dimensions d in {32, 128, 512}, each reporting a
+// flops_per_s counter — the stable unit scripts/check_perf.py gates CI perf
+// regressions on. The GeMM benches stay {naive, tiled}: the planned policy
+// shares the tiled dense kernels, so planned rows would be duplicates.
+// Planned SpMM rows additionally report plan_build_s (the one-time
+// inspector cost), and SpmmAmortized rows measure one inspection plus a
+// burst of executions — the shape a training run actually sees. SpmmSkew
+// rows use a heavy-tailed (lognormal sigma = 2) degree distribution, the
+// regime the degree-binned executors are built for. Emit JSON with
 //   bench_kernels --benchmark_format=json --benchmark_out=kernels.json
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -20,6 +28,7 @@
 #include "graph/generators.hpp"
 #include "sparse/sddmm.hpp"
 #include "sparse/spmm.hpp"
+#include "sparse/spmm_plan.hpp"
 #include "util/rng.hpp"
 
 using namespace mggcn;
@@ -29,12 +38,17 @@ namespace {
 constexpr std::int64_t kFeatureSweep[] = {32, 128, 512};
 constexpr dense::KernelPolicy kPolicies[] = {dense::KernelPolicy::kNaive,
                                              dense::KernelPolicy::kTiled};
+constexpr dense::KernelPolicy kSpmmPolicies[] = {dense::KernelPolicy::kNaive,
+                                                 dense::KernelPolicy::kTiled,
+                                                 dense::KernelPolicy::kPlanned};
 
-sparse::Csr random_graph(std::int64_t n, double degree) {
+sparse::Csr random_graph(std::int64_t n, double degree,
+                         double degree_sigma = 1.0) {
   util::Rng rng(7);
   graph::BterParams params;
   params.n = n;
   params.avg_degree = degree;
+  params.degree_sigma = degree_sigma;
   return sparse::Csr::from_coo(graph::bter_like(params, rng).edges);
 }
 
@@ -54,17 +68,52 @@ void set_flops_counter(benchmark::State& state, double flops_per_iteration) {
 }
 
 void bm_spmm(benchmark::State& state, dense::KernelPolicy policy,
-             std::int64_t n, std::int64_t d) {
+             std::int64_t n, std::int64_t d, double degree_sigma) {
   dense::ScopedKernelPolicy scope(policy);
-  const sparse::Csr a = random_graph(n, 16.0);
+  const sparse::Csr a = random_graph(n, 16.0, degree_sigma);
   const dense::HostMatrix b = random_matrix(n, d);
   dense::HostMatrix c(n, d);
+  if (policy == dense::KernelPolicy::kPlanned) {
+    // Measure the one-time inspector cost explicitly, then pre-warm the
+    // process-wide plan cache so the timed loop sees the steady state a
+    // training run sees (plan hit on every call).
+    const auto t0 = std::chrono::steady_clock::now();
+    const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(plan.nnz());
+    state.counters["plan_build_s"] =
+        std::chrono::duration<double>(t1 - t0).count();
+    sparse::spmm(a, b.view(), c.view());
+  }
   for (auto _ : state) {
     sparse::spmm(a, b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * a.nnz() * d);
   set_flops_counter(state, 2.0 * static_cast<double>(a.nnz() * d));
+}
+
+void bm_spmm_amortized(benchmark::State& state, std::int64_t n,
+                       std::int64_t d) {
+  // The shape a training run sees: one inspection amortized over a burst of
+  // executions of the same tile (2 * L * P^2 launches per epoch in the
+  // distributed trainer). flops_per_s here is the *amortized* per-call
+  // throughput, inspector included.
+  constexpr int kExecsPerPlan = 32;
+  const sparse::Csr a = random_graph(n, 16.0);
+  const dense::HostMatrix b = random_matrix(n, d);
+  dense::HostMatrix c(n, d);
+  for (auto _ : state) {
+    const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+    for (int i = 0; i < kExecsPerPlan; ++i) {
+      plan.execute(a, b.view(), c.view(), 1.0f, 0.0f);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kExecsPerPlan * a.nnz() * d);
+  set_flops_counter(
+      state, 2.0 * static_cast<double>(kExecsPerPlan) *
+                 static_cast<double>(a.nnz() * d));
 }
 
 void bm_gemm(benchmark::State& state, dense::KernelPolicy policy,
@@ -112,7 +161,7 @@ void bm_gemm_a_bt_masked(benchmark::State& state, dense::KernelPolicy policy,
 }
 
 void register_policy_benchmarks() {
-  for (const auto policy : kPolicies) {
+  for (const auto policy : kSpmmPolicies) {
     const std::string tag = dense::kernel_policy_name(policy);
     for (const std::int64_t d : kFeatureSweep) {
       for (const std::int64_t n : {4096, 16384}) {
@@ -120,8 +169,24 @@ void register_policy_benchmarks() {
             ("Spmm/" + tag + "/n:" + std::to_string(n) +
              "/d:" + std::to_string(d))
                 .c_str(),
-            bm_spmm, policy, n, d);
+            bm_spmm, policy, n, d, /*degree_sigma=*/1.0);
       }
+      // The heavy-tailed case (hub rows next to near-empty ones) only at
+      // the large size: this is the distribution the planned policy's
+      // degree bins target, and what the CI skew gate keys on.
+      benchmark::RegisterBenchmark(
+          ("SpmmSkew/" + tag + "/n:16384/d:" + std::to_string(d)).c_str(),
+          bm_spmm, policy, 16384, d, /*degree_sigma=*/2.0);
+    }
+  }
+  for (const std::int64_t d : kFeatureSweep) {
+    benchmark::RegisterBenchmark(
+        ("SpmmAmortized/planned/n:16384/d:" + std::to_string(d)).c_str(),
+        bm_spmm_amortized, 16384, d);
+  }
+  for (const auto policy : kPolicies) {
+    const std::string tag = dense::kernel_policy_name(policy);
+    for (const std::int64_t d : kFeatureSweep) {
       benchmark::RegisterBenchmark(
           ("Gemm/" + tag + "/m:2048/d:" + std::to_string(d)).c_str(), bm_gemm,
           policy, 2048, d);

@@ -3,7 +3,7 @@
 
 Reads a google-benchmark JSON file (produced with
 ``bench_kernels --benchmark_format=json --benchmark_out=kernels.json``)
-and enforces two properties:
+and enforces three properties:
 
 1. **No throughput regression**: every benchmark that reports a
    ``flops_per_s`` counter and appears in the committed baseline
@@ -11,12 +11,25 @@ and enforces two properties:
    ``(1 - max_regression)`` of its baseline throughput. The baseline is
    machine-specific, so this check is strict on the machine that recorded
    it and advisory elsewhere (pass ``--max-regression 1`` to disable).
+   Baseline entries missing from the current run (e.g. a filtered bench
+   invocation, or renamed benchmarks) produce a warning, not a failure.
 
 2. **Tiled beats naive**: for every benchmark name containing a
    ``/naive/`` policy segment with a ``/tiled/`` twin, the tiled
    throughput must be at least ``--min-speedup`` times the naive one.
-   This check is machine-independent: both numbers come from the same
-   run on the same host.
+
+3. **Planned beats tiled on large graphs**: every large
+   (``n:<large-n>``) Spmm/SpmmSkew benchmark under the ``planned``
+   policy must reach at least ``--min-planned-speedup`` times its
+   ``tiled`` twin, and at least one skewed-degree (SpmmSkew) large case
+   must reach ``--min-skew-speedup`` — the inspector-executor payoff on
+   the heavy-tailed degree distributions it targets.
+
+Checks 2 and 3 are machine-independent: both sides of each ratio come
+from the same run on the same host. They are still noise-sensitive, so
+CI runs the bench with ``--benchmark_enable_random_interleaving=true``
+and ``--benchmark_repetitions=5``; this script prefers the ``median``
+aggregate over per-iteration rows when repetitions are present.
 
 Refresh the baseline after an intentional perf change with::
 
@@ -65,16 +78,24 @@ def load_throughputs(path: Path) -> dict[str, float]:
 def check_regressions(current: dict[str, float], baseline: dict[str, float],
                       max_regression: float) -> list[str]:
     failures = []
+    compared = 0
     for name, base in sorted(baseline.items()):
         if name not in current:
-            failures.append(f"missing from current run: {name}")
+            # A filtered run or a renamed benchmark, not a perf problem:
+            # warn so the gap is visible, but do not fail the gate.
+            print(f"warning: baseline benchmark not in current run: {name}",
+                  file=sys.stderr)
             continue
+        compared += 1
         floor = base * (1.0 - max_regression)
         if current[name] < floor:
             failures.append(
                 f"regression: {name}: {current[name]:.3e} {COUNTER} < "
                 f"{floor:.3e} (baseline {base:.3e}, allowed -"
                 f"{max_regression:.0%})")
+    if baseline and compared == 0:
+        print("warning: no overlap between baseline and current benchmark "
+              "names; regression check skipped", file=sys.stderr)
     return failures
 
 
@@ -96,6 +117,45 @@ def check_speedups(current: dict[str, float],
     return failures, report
 
 
+def check_planned(current: dict[str, float], min_planned: float,
+                  min_skew: float, large_n: int) -> tuple[list[str],
+                                                          list[str]]:
+    """The inspector-executor gate: planned vs tiled on large SpMM cases."""
+    failures, report = [], []
+    marker = f"/n:{large_n}/"
+    best_skew: tuple[float, str] | None = None
+    for name, tiled in sorted(current.items()):
+        family = name.split("/", 1)[0]
+        if family not in ("Spmm", "SpmmSkew"):
+            continue
+        if "/tiled/" not in name or marker not in name:
+            continue
+        twin = name.replace("/tiled/", "/planned/")
+        if twin not in current:
+            print(f"warning: no planned twin for {name}; skipping",
+                  file=sys.stderr)
+            continue
+        speedup = current[twin] / tiled if tiled > 0 else float("inf")
+        report.append(f"{twin}: {speedup:.2f}x over tiled")
+        if speedup < min_planned:
+            failures.append(
+                f"planned below floor: {twin} is {speedup:.2f}x over tiled "
+                f"(required {min_planned:.2f}x)")
+        if family == "SpmmSkew":
+            if best_skew is None or speedup > best_skew[0]:
+                best_skew = (speedup, twin)
+    if best_skew is None:
+        if report:
+            print("warning: no large SpmmSkew planned/tiled pair; skew gate "
+                  "skipped", file=sys.stderr)
+    elif best_skew[0] < min_skew:
+        failures.append(
+            f"skew gate: best skewed-degree planned speedup is "
+            f"{best_skew[0]:.2f}x ({best_skew[1]}); at least one case must "
+            f"reach {min_skew:.2f}x over tiled")
+    return failures, report
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path,
@@ -108,6 +168,15 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="required tiled-over-naive throughput ratio "
                         "(default: %(default)s)")
+    parser.add_argument("--min-planned-speedup", type=float, default=1.0,
+                        help="required planned-over-tiled ratio on every "
+                        "large Spmm/SpmmSkew case (default: %(default)s)")
+    parser.add_argument("--min-skew-speedup", type=float, default=1.2,
+                        help="planned-over-tiled ratio at least one large "
+                        "SpmmSkew case must reach (default: %(default)s)")
+    parser.add_argument("--large-n", type=int, default=16384,
+                        help="row count that marks a case as large for the "
+                        "planned gates (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
@@ -142,7 +211,11 @@ def main() -> int:
 
     speedup_failures, report = check_speedups(current, args.min_speedup)
     failures += speedup_failures
-    for line in report:
+    planned_failures, planned_report = check_planned(
+        current, args.min_planned_speedup, args.min_skew_speedup,
+        args.large_n)
+    failures += planned_failures
+    for line in report + planned_report:
         print(line)
 
     if failures:

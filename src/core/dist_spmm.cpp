@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 
+#include "dense/kernel_policy.hpp"
 #include "dense/matrix.hpp"
 #include "sparse/spmm.hpp"
+#include "sparse/spmm_plan.hpp"
 #include "util/error.hpp"
 
 namespace mggcn::core {
@@ -60,9 +62,32 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
   result.done.resize(np);
   result.input_released.resize(np);
 
+  // Under the planned kernel policy every tile executes through its cached
+  // SpmmPlan. Plans are resolved here on the enqueue thread (TileGrid's lazy
+  // build is not thread-safe) and the one-time inspector cost is charged to
+  // the owning device's compute stream the first time a tile's plan is
+  // built — every later product reuses the plan for free.
+  const bool use_plans =
+      dense::kernel_policy() == dense::KernelPolicy::kPlanned;
+  auto resolve_plan = [&](int r, int s) -> const sparse::SpmmPlan* {
+    if (!use_plans) return nullptr;
+    const bool first_use = !grid_.plan_ready(r, s);
+    const sparse::SpmmPlan* plan = &grid_.plan(r, s);
+    if (first_use) {
+      sim::TaskDesc inspect;
+      inspect.label = "spmm_inspect";
+      inspect.kind = sim::TaskKind::kInspect;
+      inspect.stage = s;
+      inspect.cost = sparse::spmm_inspect_cost(grid_.tile(r, s).rows());
+      machine_.device(r).compute_stream().enqueue(std::move(inspect));
+    }
+    return plan;
+  };
+
   if (p == 1) {
     // Single device: one local SpMM, no communication.
     const sparse::Csr& tile = grid_.tile(0, 0);
+    const sparse::SpmmPlan* plan = resolve_plan(0, 0);
     sim::TaskDesc task;
     task.label = "spmm";
     task.kind = sim::TaskKind::kSpMM;
@@ -74,16 +99,37 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     float* in = io.input[0]->data();
     float* out = io.output[0]->data();
     const std::int64_t d = io.d;
-    task.body = [&tile, in, out, d] {
-      sparse::spmm(tile,
-                   dense::ConstMatrixView{in, tile.cols(), d},
-                   dense::MatrixView{out, tile.rows(), d});
+    task.body = [&tile, plan, in, out, d] {
+      if (plan != nullptr) {
+        plan->execute(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                      dense::MatrixView{out, tile.rows(), d}, 1.0f, 0.0f);
+      } else {
+        sparse::spmm(tile,
+                     dense::ConstMatrixView{in, tile.cols(), d},
+                     dense::MatrixView{out, tile.rows(), d});
+      }
     };
     sim::Event done = machine_.device(0).compute_stream().enqueue(
         std::move(task));
     result.done[0] = done;
     result.input_released[0] = done;
     return result;
+  }
+
+  // Resolve every tile's plan before the staged pipeline starts: on the
+  // first product this front-loads the inspector tasks as a prologue on
+  // each compute stream instead of serializing them between stages (where
+  // they would eat into compute/comm overlap); on every later product all
+  // plans are ready and this loop enqueues nothing.
+  std::vector<std::vector<const sparse::SpmmPlan*>> plans(
+      np, std::vector<const sparse::SpmmPlan*>(np, nullptr));
+  if (use_plans) {
+    for (int s = 0; s < p; ++s) {
+      for (int r = 0; r < p; ++r) {
+        plans[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)] =
+            resolve_plan(r, s);
+      }
+    }
   }
 
   // Per rank and broadcast-slot, the SpMM event that last read that slot
@@ -130,6 +176,7 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     for (int r = 0; r < p; ++r) {
       const auto rr = static_cast<std::size_t>(r);
       const sparse::Csr& tile = grid_.tile(r, s);
+      const sparse::SpmmPlan* plan = plans[rr][static_cast<std::size_t>(s)];
       sim::DeviceBuffer* src =
           r == s ? io.input[rr] : (slot == 0 ? io.bc1[rr] : io.bc2[rr]);
 
@@ -159,9 +206,14 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
       float* out = io.output[rr]->data();
       const std::int64_t d = io.d;
       const float beta = s == 0 ? 0.0f : 1.0f;
-      task.body = [&tile, in, out, d, beta] {
-        sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
-                     dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+      task.body = [&tile, plan, in, out, d, beta] {
+        if (plan != nullptr) {
+          plan->execute(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                        dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+        } else {
+          sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                       dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+        }
       };
 
       sim::Event done =

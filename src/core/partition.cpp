@@ -66,6 +66,28 @@ int PartitionVector::part_of(std::int64_t v) const {
   return static_cast<int>(it - offsets_.begin()) - 1;
 }
 
+const sparse::SpmmPlan& TileGrid::plan(int i, int j) const {
+  if (plans_.empty()) {
+    plans_.resize(tiles.size());
+    for (std::size_t r = 0; r < tiles.size(); ++r) {
+      plans_[r].resize(tiles[r].size());
+    }
+  }
+  auto& slot = plans_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  if (slot == nullptr || !slot->matches(tile(i, j))) {
+    slot = std::make_shared<const sparse::SpmmPlan>(
+        sparse::SpmmPlan::inspect(tile(i, j)));
+  }
+  return *slot;
+}
+
+bool TileGrid::plan_ready(int i, int j) const {
+  if (plans_.empty()) return false;
+  const auto& slot =
+      plans_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  return slot != nullptr && slot->matches(tile(i, j));
+}
+
 std::int64_t TileGrid::row_nnz(int i) const {
   std::int64_t total = 0;
   for (const auto& t : tiles[static_cast<std::size_t>(i)]) total += t.nnz();

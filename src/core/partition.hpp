@@ -4,10 +4,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/spmm_plan.hpp"
 
 namespace mggcn::core {
 
@@ -67,10 +69,28 @@ struct TileGrid {
     return tiles[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
   }
 
+  /// The tiles are static for an entire training run, so the grid owns one
+  /// lazily-built SpmmPlan per tile: plan(i, j) inspects tile (i, j) on
+  /// first call and returns the cached plan thereafter. Plans are shared
+  /// between copies of the grid made *after* they were built; copies made
+  /// earlier inspect independently. Lazy building is not thread-safe —
+  /// DistSpmm resolves plans on the enqueue thread, never inside stream
+  /// worker bodies.
+  [[nodiscard]] const sparse::SpmmPlan& plan(int i, int j) const;
+  /// Whether plan(i, j) has already been built (i.e. whether the next
+  /// plan(i, j) call is free) — lets callers charge the one-time inspector
+  /// cost exactly once per tile.
+  [[nodiscard]] bool plan_ready(int i, int j) const;
+
   /// Nonzeros of tile row i (the work assigned to GPU i).
   [[nodiscard]] std::int64_t row_nnz(int i) const;
   /// max_i row_nnz / mean row_nnz: the load-imbalance ratio Fig. 6 is about.
   [[nodiscard]] double imbalance() const;
+
+ private:
+  /// [row_part][col_part], sized on first use; null until built.
+  mutable std::vector<std::vector<std::shared_ptr<const sparse::SpmmPlan>>>
+      plans_;
 };
 
 /// Cuts `matrix` into parts x parts tiles with the symmetric partition.

@@ -12,11 +12,11 @@ namespace {
 
 KernelPolicy policy_from_env() {
   const char* env = std::getenv("MGGCN_KERNELS");
-  if (env == nullptr || *env == '\0') return KernelPolicy::kTiled;
+  if (env == nullptr || *env == '\0') return KernelPolicy::kPlanned;
   const auto parsed = parse_kernel_policy(env);
   MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_KERNELS must be 'naive' or 'tiled', "
-                              "got '") +
+                  std::string("MGGCN_KERNELS must be 'naive', 'tiled', or "
+                              "'planned', got '") +
                       env + "'");
   return *parsed;
 }
@@ -27,9 +27,14 @@ std::atomic<KernelPolicy>& active_policy() {
 }
 
 DenseKernelTable* tables() {
+  // The planned policy only changes the *sparse* path (its SpMM runs
+  // through an inspector-built plan); for dense kernels it shares the
+  // tiled implementations.
   static DenseKernelTable registered[kNumKernelPolicies] = {
       {&naive::gemm, &naive::gemm_at_b, &naive::gemm_a_bt,
        &naive::gemm_a_bt_relu_masked},
+      {&tiled::gemm, &tiled::gemm_at_b, &tiled::gemm_a_bt,
+       &tiled::gemm_a_bt_relu_masked},
       {&tiled::gemm, &tiled::gemm_at_b, &tiled::gemm_a_bt,
        &tiled::gemm_a_bt_relu_masked},
   };
@@ -44,6 +49,8 @@ const char* kernel_policy_name(KernelPolicy policy) {
       return "naive";
     case KernelPolicy::kTiled:
       return "tiled";
+    case KernelPolicy::kPlanned:
+      return "planned";
   }
   return "unknown";
 }
@@ -51,6 +58,7 @@ const char* kernel_policy_name(KernelPolicy policy) {
 std::optional<KernelPolicy> parse_kernel_policy(std::string_view name) {
   if (name == "naive") return KernelPolicy::kNaive;
   if (name == "tiled") return KernelPolicy::kTiled;
+  if (name == "planned") return KernelPolicy::kPlanned;
   return std::nullopt;
 }
 

@@ -6,14 +6,17 @@
 //
 //   - `naive`: the original straightforward loops, kept as the correctness
 //     reference that tests diff the optimized kernels against.
-//   - `tiled`: register-tiled, cache-blocked, auto-vectorizable kernels
-//     (the default) — the host stand-in for the cuBLAS/cuSPARSE efficiency
-//     the paper's performance story is built on (§4.4).
+//   - `tiled`: register-tiled, cache-blocked, auto-vectorizable kernels —
+//     the host stand-in for the cuBLAS/cuSPARSE efficiency the paper's
+//     performance story is built on (§4.4).
+//   - `planned` (the default): the tiled dense kernels plus the
+//     inspector–executor SpMM (sparse/spmm_plan.hpp), which amortizes a
+//     one-time per-matrix degree-binning pass across every later launch.
 //
 // Selection: set_kernel_policy() programmatically, or the MGGCN_KERNELS
-// environment variable ("naive" | "tiled") read once at first use. Benches
-// expose it as a CLI sweep so both policies land in the same JSON artifact
-// for the perf-regression gate (scripts/check_perf.py).
+// environment variable ("naive" | "tiled" | "planned") read once at first
+// use. Benches expose it as a CLI sweep so the policies land in the same
+// JSON artifact for the perf-regression gate (scripts/check_perf.py).
 #pragma once
 
 #include <optional>
@@ -23,18 +26,19 @@
 
 namespace mggcn::dense {
 
-enum class KernelPolicy { kNaive = 0, kTiled = 1 };
+enum class KernelPolicy { kNaive = 0, kTiled = 1, kPlanned = 2 };
 
-inline constexpr int kNumKernelPolicies = 2;
+inline constexpr int kNumKernelPolicies = 3;
 
-/// Stable lower-case name ("naive" | "tiled") for logs, CLI, and JSON.
+/// Stable lower-case name ("naive" | "tiled" | "planned") for logs, CLI,
+/// and JSON.
 [[nodiscard]] const char* kernel_policy_name(KernelPolicy policy);
 
 /// Parses a policy name; nullopt when unknown.
 [[nodiscard]] std::optional<KernelPolicy> parse_kernel_policy(
     std::string_view name);
 
-/// The active policy. Defaults to kTiled, overridable once via the
+/// The active policy. Defaults to kPlanned, overridable once via the
 /// MGGCN_KERNELS environment variable; throws InvalidArgumentError on an
 /// unknown MGGCN_KERNELS value so experiment-script typos fail loudly.
 [[nodiscard]] KernelPolicy kernel_policy();

@@ -18,6 +18,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kOptimizer: return "Adam";
     case TaskKind::kComm: return "Comm";
     case TaskKind::kMemory: return "Memory";
+    case TaskKind::kInspect: return "Inspect";
     case TaskKind::kOther: return "Other";
   }
   return "?";

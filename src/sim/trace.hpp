@@ -19,7 +19,8 @@ enum class TaskKind {
   kLoss,
   kOptimizer,
   kComm,
-  kMemory,  // memsets / copies
+  kMemory,   // memsets / copies
+  kInspect,  // one-time SpMM plan construction (inspector-executor)
   kOther,
 };
 

@@ -1,5 +1,6 @@
 #include "sparse/spmm.hpp"
 
+#include "sparse/spmm_plan.hpp"
 #include "util/error.hpp"
 
 namespace mggcn::sparse {
@@ -55,13 +56,14 @@ void spmm(const Csr& a, dense::ConstMatrixView b, dense::MatrixView c,
 
 }  // namespace naive
 
-// tiled::spmm lives in spmm_tiled.cpp (compiled at -O3; see CMakeLists.txt).
+// tiled::spmm lives in spmm_tiled.cpp and planned::spmm (the cache-backed
+// inspector-executor wrapper) in spmm_plan.cpp / spmm_planned.cpp.
 
 namespace {
 
 SpmmFn* spmm_table() {
-  static SpmmFn registered[dense::kNumKernelPolicies] = {&naive::spmm,
-                                                         &tiled::spmm};
+  static SpmmFn registered[dense::kNumKernelPolicies] = {
+      &naive::spmm, &tiled::spmm, &planned::spmm};
   return registered;
 }
 

@@ -3,10 +3,12 @@
 //
 // Like the dense GeMMs, spmm() dispatches through the kernel-policy
 // registry (dense/kernel_policy.hpp): `naive::spmm` is the reference loop,
-// `tiled::spmm` the cache-blocked implementation. Both fold the beta scale
-// into the first-nonzero accumulation (no separate zeroing pass) and
-// accumulate edges in CSR order per output element, so the two policies
-// agree bit-for-bit at beta == 0.
+// `tiled::spmm` the cache-blocked implementation, and `planned::spmm`
+// (sparse/spmm_plan.hpp) the inspector-executor path that amortizes a
+// one-time degree-binning pass across launches. All three fold the beta
+// scale into the first-nonzero accumulation (no separate zeroing pass) and
+// accumulate edges in CSR order per output element, so the policies agree
+// bit-for-bit at beta == 0.
 #pragma once
 
 #include "dense/kernel_policy.hpp"

@@ -2,8 +2,9 @@
 // the naive reference across alpha/beta combinations, ragged shapes (rows,
 // columns, and inner dimensions that are not multiples of the register
 // tile), and CSR inputs with empty and high-degree rows; plus the
-// bit-for-bit beta == 0 SpMM agreement both policies promise, and the
-// policy selection machinery itself.
+// bit-for-bit beta == 0 SpMM agreement all three policies promise, the
+// policy selection machinery itself, and the planned policy's one-time
+// inspector accounting in the distributed trainer's trace.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -11,10 +12,13 @@
 #include <vector>
 
 #include "core/reference.hpp"
+#include "core/trainer.hpp"
 #include "dense/kernel_policy.hpp"
 #include "dense/kernels.hpp"
 #include "graph/datasets.hpp"
+#include "sim/machine.hpp"
 #include "sparse/spmm.hpp"
+#include "sparse/spmm_plan.hpp"
 #include "util/rng.hpp"
 
 namespace mggcn {
@@ -179,7 +183,7 @@ TEST(KernelPolicyProperty, TiledSpmmMatchesNaive) {
 }
 
 TEST(KernelPolicyProperty, SpmmPoliciesBitIdenticalAtBetaZero) {
-  // Both policies initialize the output row from the first nonzero and
+  // All three policies initialize the output row from the first nonzero and
   // accumulate edges in CSR order per element, so at beta == 0 they must
   // agree bit-for-bit — not just within tolerance.
   for (std::int64_t d : {1, 33, 64, 130, 257}) {
@@ -188,15 +192,19 @@ TEST(KernelPolicyProperty, SpmmPoliciesBitIdenticalAtBetaZero) {
     for (float alpha : {1.0f, 0.5f}) {
       dense::HostMatrix c_naive(50, d);
       dense::HostMatrix c_tiled(50, d);
+      dense::HostMatrix c_planned(50, d);
       c_naive.fill(7.0f);  // stale contents that beta == 0 must ignore
       c_tiled.fill(-3.0f);
+      c_planned.fill(11.0f);
       sparse::naive::spmm(a, b.view(), c_naive.view(), alpha, 0.0f);
       sparse::tiled::spmm(a, b.view(), c_tiled.view(), alpha, 0.0f);
-      EXPECT_EQ(std::memcmp(c_naive.data(), c_tiled.data(),
-                            static_cast<std::size_t>(c_naive.size()) *
-                                sizeof(float)),
-                0)
-          << "d=" << d << " alpha=" << alpha;
+      sparse::planned::spmm(a, b.view(), c_planned.view(), alpha, 0.0f);
+      const auto bytes =
+          static_cast<std::size_t>(c_naive.size()) * sizeof(float);
+      EXPECT_EQ(std::memcmp(c_naive.data(), c_tiled.data(), bytes), 0)
+          << "tiled d=" << d << " alpha=" << alpha;
+      EXPECT_EQ(std::memcmp(c_naive.data(), c_planned.data(), bytes), 0)
+          << "planned d=" << d << " alpha=" << alpha;
     }
   }
 }
@@ -204,11 +212,15 @@ TEST(KernelPolicyProperty, SpmmPoliciesBitIdenticalAtBetaZero) {
 TEST(KernelPolicy, ParseAndName) {
   EXPECT_EQ(dense::parse_kernel_policy("naive"), dense::KernelPolicy::kNaive);
   EXPECT_EQ(dense::parse_kernel_policy("tiled"), dense::KernelPolicy::kTiled);
+  EXPECT_EQ(dense::parse_kernel_policy("planned"),
+            dense::KernelPolicy::kPlanned);
   EXPECT_FALSE(dense::parse_kernel_policy("blas").has_value());
   EXPECT_STREQ(dense::kernel_policy_name(dense::KernelPolicy::kNaive),
                "naive");
   EXPECT_STREQ(dense::kernel_policy_name(dense::KernelPolicy::kTiled),
                "tiled");
+  EXPECT_STREQ(dense::kernel_policy_name(dense::KernelPolicy::kPlanned),
+               "planned");
 }
 
 TEST(KernelPolicy, ScopedOverrideRestores) {
@@ -256,7 +268,8 @@ TEST(KernelPolicy, RegistryRoutesDispatch) {
 
 TEST(KernelPolicy, TrainerNumericsMatchAcrossPolicies) {
   // End-to-end guard for the acceptance bar: the serial reference trainer's
-  // logits under the tiled policy match the naive policy within 1e-4.
+  // logits under the tiled and planned policies match the naive policy
+  // within 1e-4.
   graph::DatasetSpec spec = graph::cora();
   spec.n = 200;
   spec.feature_dim = 24;
@@ -278,8 +291,86 @@ TEST(KernelPolicy, TrainerNumericsMatchAcrossPolicies) {
   };
   const dense::HostMatrix logits_naive = run(dense::KernelPolicy::kNaive);
   const dense::HostMatrix logits_tiled = run(dense::KernelPolicy::kTiled);
+  const dense::HostMatrix logits_planned = run(dense::KernelPolicy::kPlanned);
   EXPECT_LT(dense::max_abs_diff(logits_naive.view(), logits_tiled.view()),
             1e-4);
+  EXPECT_LT(dense::max_abs_diff(logits_naive.view(), logits_planned.view()),
+            1e-4);
+}
+
+TEST(KernelPolicy, DistributedTrainerChargesInspectOncePerTile) {
+  // Under the planned policy the distributed trainer must trace exactly one
+  // kInspect task per distinct adjacency tile — 2 * P^2 across the forward
+  // (A_hat^T) and backward (A_hat) grids — on the first epoch, and none
+  // afterwards: the whole point of the plan is amortization.
+  graph::DatasetSpec spec = graph::cora();
+  spec.n = 300;
+  spec.feature_dim = 24;
+  spec.num_classes = 5;
+  spec.avg_degree = 8.0;
+  graph::DatasetOptions options;
+  options.seed = 13;
+  const graph::Dataset ds = graph::make_dataset(spec, options);
+
+  for (const int gpus : {1, 2, 4}) {
+    dense::ScopedKernelPolicy scope(dense::KernelPolicy::kPlanned);
+    core::TrainConfig config;
+    config.hidden_dims = {16};
+    config.seed = 3;
+
+    sim::Machine machine(sim::dgx_v100(), gpus, sim::ExecutionMode::kReal);
+    core::MgGcnTrainer trainer(machine, ds, config);
+
+    auto inspect_count = [&] {
+      std::size_t count = 0;
+      for (const auto& rec : machine.trace().records()) {
+        if (rec.kind == sim::TaskKind::kInspect) ++count;
+      }
+      return count;
+    };
+
+    trainer.train_epoch();
+    const std::size_t expected =
+        2 * static_cast<std::size_t>(gpus) * static_cast<std::size_t>(gpus);
+    EXPECT_EQ(inspect_count(), expected) << gpus << " gpus, epoch 0";
+    trainer.train_epoch();
+    trainer.train_epoch();
+    EXPECT_EQ(inspect_count(), expected)
+        << gpus << " gpus: plans must be reused, not rebuilt";
+  }
+}
+
+TEST(KernelPolicy, MultiDeviceTrainerMatchesReferenceUnderAllPolicies) {
+  // The acceptance bar: the multi-device trainer equals the serial
+  // reference under every registered kernel policy.
+  graph::DatasetSpec spec = graph::cora();
+  spec.n = 300;
+  spec.feature_dim = 24;
+  spec.num_classes = 5;
+  spec.avg_degree = 8.0;
+  graph::DatasetOptions options;
+  options.seed = 17;
+  const graph::Dataset ds = graph::make_dataset(spec, options);
+
+  for (const dense::KernelPolicy policy :
+       {dense::KernelPolicy::kNaive, dense::KernelPolicy::kTiled,
+        dense::KernelPolicy::kPlanned}) {
+    dense::ScopedKernelPolicy scope(policy);
+    core::TrainConfig config;
+    config.hidden_dims = {16};
+    config.seed = 3;
+    config.permute = false;
+
+    sim::Machine machine(sim::dgx_v100(), 4, sim::ExecutionMode::kReal);
+    core::MgGcnTrainer trainer(machine, ds, config);
+    core::ReferenceTrainer reference(ds, config);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const auto dist = trainer.train_epoch();
+      const auto ref = reference.train_epoch();
+      EXPECT_NEAR(dist.loss, ref.loss, 1e-3 * std::max(1.0, ref.loss))
+          << dense::kernel_policy_name(policy) << ", epoch " << epoch;
+    }
+  }
 }
 
 }  // namespace
