@@ -109,6 +109,8 @@ std::vector<sim::Event> Communicator::launch(std::vector<RankPart> parts,
     desc.kind = sim::TaskKind::kComm;
     desc.stage = stage;
     desc.waits = std::move(part.waits);
+    desc.reads = std::move(part.reads);
+    desc.writes = std::move(part.writes);
     desc.collective = group;
     desc.collective_executor = rank == executor;
     events.push_back(stream_of(rank, stream).enqueue(std::move(desc)));
@@ -122,6 +124,14 @@ std::vector<sim::Event> Communicator::broadcast(std::vector<RankPart> parts,
                                                 StreamChoice stream,
                                                 int stage) {
   MGGCN_CHECK(root >= 0 && root < size());
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    if (parts[r].buffer == nullptr) continue;
+    if (static_cast<int>(r) == root) {
+      parts[r].reads.push_back(parts[r].buffer->access());
+    } else {
+      parts[r].writes.push_back(parts[r].buffer->access());
+    }
+  }
   if (size() == 1) {
     // Degenerate collective: nothing moves, but callers still get events.
     return launch(std::move(parts), count, 0, 0.0, "broadcast", nullptr,
@@ -155,6 +165,11 @@ std::vector<sim::Event> Communicator::broadcast(std::vector<RankPart> parts,
 std::vector<sim::Event> Communicator::allreduce_sum(std::vector<RankPart> parts,
                                                     std::size_t count,
                                                     StreamChoice stream) {
+  for (auto& part : parts) {
+    if (part.buffer == nullptr) continue;
+    part.reads.push_back(part.buffer->access());
+    if (size() > 1) part.writes.push_back(part.buffer->access());
+  }
   if (size() == 1) {
     return launch(std::move(parts), count, 0, 0.0, "allreduce", nullptr,
                   stream);
@@ -187,6 +202,13 @@ std::vector<sim::Event> Communicator::reduce_sum(std::vector<RankPart> parts,
                                                  std::size_t count, int root,
                                                  StreamChoice stream) {
   MGGCN_CHECK(root >= 0 && root < size());
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    if (parts[r].buffer == nullptr) continue;
+    parts[r].reads.push_back(parts[r].buffer->access());
+    if (static_cast<int>(r) == root && size() > 1) {
+      parts[r].writes.push_back(parts[r].buffer->access());
+    }
+  }
   if (size() == 1) {
     return launch(std::move(parts), count, 0, 0.0, "reduce", nullptr, stream);
   }
@@ -217,6 +239,11 @@ std::vector<sim::Event> Communicator::allgather(
     std::vector<RankPart> parts, const std::vector<std::size_t>& counts,
     StreamChoice stream) {
   MGGCN_CHECK(counts.size() == parts.size());
+  for (auto& part : parts) {
+    if (part.buffer == nullptr) continue;
+    part.reads.push_back(part.buffer->access());
+    if (size() > 1) part.writes.push_back(part.buffer->access());
+  }
   std::size_t total = 0;
   for (const std::size_t c : counts) total += c;
   if (size() == 1) {

@@ -25,10 +25,15 @@ namespace mggcn::comm {
 enum class StreamChoice { kCompute, kComm };
 
 /// One rank's view of a collective: its buffer and the events its part must
-/// wait for before the collective can start on that rank.
+/// wait for before the collective can start on that rank. Each collective
+/// fills `reads`/`writes` from its data-movement role (root reads, receivers
+/// are written, reductions do both) so the hazard checker audits collectives
+/// like any other task.
 struct RankPart {
   sim::DeviceBuffer* buffer = nullptr;
   std::vector<sim::Event> waits;
+  std::vector<sim::BufferAccess> reads;
+  std::vector<sim::BufferAccess> writes;
 };
 
 struct CommOptions {

@@ -96,6 +96,8 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     if (!io.input_ready.empty() && io.input_ready[0].valid()) {
       task.waits.push_back(io.input_ready[0]);
     }
+    task.reads.push_back(io.input[0]->access());
+    task.writes.push_back(io.output[0]->access());
     float* in = io.input[0]->data();
     float* out = io.output[0]->data();
     const std::int64_t d = io.d;
@@ -201,6 +203,10 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
         task.bandwidth_scale = 1.0 - fraction * contention;
       }
       task.waits.push_back(bcast[rr]);
+      task.reads.push_back(src->access());
+      // Stages s > 0 accumulate (beta = 1), which also reads the output.
+      if (s > 0) task.reads.push_back(io.output[rr]->access());
+      task.writes.push_back(io.output[rr]->access());
 
       float* in = src->data();
       float* out = io.output[rr]->data();
@@ -223,8 +229,13 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
       }
       last_spmm[rr] = done;
       if (r == s) {
-        // The rank's own block is released once its broadcast completed.
-        result.input_released[rr] = bcast[rr];
+        // The rank's own block is released once its broadcast completed AND
+        // its own stage-s SpMM finished reading it. The SpMM waits on the
+        // broadcast, so its completion covers both readers; signaling the
+        // broadcast alone (the old behavior) let a caller overwrite
+        // io.input[rr] while the root's SpMM was still reading it — a
+        // write-after-read hazard in ExecutionMode::kReal.
+        result.input_released[rr] = done;
       }
     }
   }

@@ -120,6 +120,10 @@ DistSpmm15D::Result DistSpmm15D::run(const Io& io) {
         task.waits.push_back(bcast[static_cast<std::size_t>(j)]);
 
         sim::DeviceBuffer* src = j == s ? io.input[rr] : io.bc[rr];
+        task.reads.push_back(src->access());
+        // Later rounds accumulate (beta = 1), which also reads the output.
+        if (t > 0) task.reads.push_back(io.output[rr]->access());
+        task.writes.push_back(io.output[rr]->access());
         float* in = src->data();
         float* out = io.output[rr]->data();
         const std::int64_t d = io.d;

@@ -291,6 +291,9 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
         task.label = "gemm_hw";
         task.kind = sim::TaskKind::kGeMM;
         task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_out, plan.d_in));
+        task.reads.push_back(layer_in[rr]->access());
+        task.reads.push_back(rank.w[static_cast<std::size_t>(l)].access());
+        task.writes.push_back(rank.hw.access());
         float* in = layer_in[rr]->data();
         float* w = rank.w[static_cast<std::size_t>(l)].data();
         float* hw = rank.hw.data();
@@ -349,6 +352,9 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
         task.label = "gemm_out";
         task.kind = sim::TaskKind::kGeMM;
         task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_out, plan.d_in));
+        task.reads.push_back(rank.hw.access());
+        task.reads.push_back(rank.w[static_cast<std::size_t>(l)].access());
+        task.writes.push_back(layer_out[rr]->access());
         float* hw = rank.hw.data();
         float* w = rank.w[static_cast<std::size_t>(l)].data();
         float* out = layer_out[rr]->data();
@@ -370,6 +376,8 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
         task.label = "relu";
         task.kind = sim::TaskKind::kActivation;
         task.cost = with_overhead(dense::elementwise_cost(count, 1, 1));
+        task.reads.push_back(layer_out[rr]->access());
+        task.writes.push_back(layer_out[rr]->access());
         float* out = layer_out[rr]->data();
         task.body = [out, count] { dense::relu_forward(out, out, count); };
         next_ready[rr] =
@@ -398,6 +406,8 @@ std::vector<sim::Event> MgGcnTrainer::enqueue_loss(
     task.kind = sim::TaskKind::kLoss;
     task.cost = with_overhead(loss_cost(n_r, classes));
     if (!ready.empty() && ready[rr].valid()) task.waits.push_back(ready[rr]);
+    task.reads.push_back(rank.outputs.back().access());
+    task.writes.push_back(rank.outputs.back().access());
 
     float* logits = rank.outputs.back().data();
     const std::int32_t* labels = rank.labels.data();
@@ -474,6 +484,9 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
       if (plan.skip_backward_spmm && grad_ready[rr].valid()) {
         task.waits.push_back(grad_ready[rr]);
       }
+      task.reads.push_back(layer_in[rr]->access());
+      task.reads.push_back(z_buf[rr]->access());
+      task.writes.push_back(rank.w_grad[static_cast<std::size_t>(l)].access());
       const float* x = layer_in[rr]->data();
       const float* z = z_buf[rr]->data();
       float* wg = rank.w_grad[static_cast<std::size_t>(l)].data();
@@ -514,6 +527,12 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
         task.kind = sim::TaskKind::kGeMM;
         task.cost = with_overhead(dense::gemm_cost(n_r, plan.d_in, plan.d_out));
         task.cost += dense::elementwise_cost(n_r * plan.d_in, 1, 0);
+        task.reads.push_back(z_buf[rr]->access());
+        task.reads.push_back(rank.w[static_cast<std::size_t>(l)].access());
+        // In-place hand-off (eq. (21)): O_{l-1} is both the activation read
+        // by the ReLU mask and the gradient written.
+        task.reads.push_back(layer_in[rr]->access());
+        task.writes.push_back(layer_in[rr]->access());
         const float* z = z_buf[rr]->data();
         const float* w = rank.w[static_cast<std::size_t>(l)].data();
         float* out = layer_in[rr]->data();  // O_{l-1}: activation -> gradient
@@ -543,6 +562,13 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
       task.kind = sim::TaskKind::kOptimizer;
       task.cost = with_overhead(adam_cost(count));
       task.waits.push_back(reduced[rr]);
+      task.reads.push_back(rank.w_grad[static_cast<std::size_t>(l)].access());
+      for (auto* buf : {&rank.w[static_cast<std::size_t>(l)],
+                        &rank.adam_m[static_cast<std::size_t>(l)],
+                        &rank.adam_v[static_cast<std::size_t>(l)]}) {
+        task.reads.push_back(buf->access());
+        task.writes.push_back(buf->access());
+      }
       float* w = rank.w[static_cast<std::size_t>(l)].data();
       const float* g = rank.w_grad[static_cast<std::size_t>(l)].data();
       float* m = rank.adam_m[static_cast<std::size_t>(l)].data();

@@ -1,11 +1,40 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/format.hpp"
+#include "util/logging.hpp"
 
 namespace mggcn::sim {
+
+namespace {
+
+/// Monotonic identity source for DeviceBuffer (0 is "no buffer").
+std::atomic<std::uint64_t> next_buffer_id{1};
+
+/// splitmix64: tiny, high-quality, and deterministic — the fuzz delays
+/// must replay bit-identically for a given (seed, rank, stream).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// MGGCN_SCHED_FUZZ=<seed> enables schedule fuzzing. Read per Stream (not
+/// cached process-wide) so tests can flip the variable between machines.
+bool sched_fuzz_seed(std::uint64_t* seed) {
+  const char* env = std::getenv("MGGCN_SCHED_FUZZ");
+  if (env == nullptr || env[0] == '\0') return false;
+  *seed = std::strtoull(env, nullptr, 0);
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Event --
 
@@ -32,6 +61,17 @@ bool Event::is_complete() const {
 // --------------------------------------------------------------- Stream --
 
 Stream::Stream(Device& device, int id) : device_(device), id_(id) {
+  if (device_.hazard() != nullptr) {
+    hb_slot_ = device_.hazard()->register_stream();
+  }
+  std::uint64_t seed = 0;
+  if (sched_fuzz_seed(&seed)) {
+    fuzz_ = true;
+    // Distinct per-(rank, stream) delay sequences from one seed.
+    fuzz_state_ = seed + 0x9e3779b97f4a7c15ULL *
+                             (static_cast<std::uint64_t>(device.rank()) * 2 +
+                              static_cast<std::uint64_t>(id) + 1);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -48,8 +88,11 @@ Event Stream::enqueue(TaskDesc desc) {
     throw DeviceLostError(os.str(), device_.rank());
   }
   auto state = std::make_shared<Event::State>();
-  const bool accepted =
-      queue_.push(PendingTask{std::move(desc), state});
+  PendingTask pending{std::move(desc), state, {}};
+  if (device_.hazard() != nullptr) {
+    pending.enqueue_clock = device_.hazard()->host_clock();
+  }
+  const bool accepted = queue_.push(std::move(pending));
   MGGCN_CHECK_MSG(accepted, "enqueue on a destroyed stream");
   return Event(state);
 }
@@ -69,7 +112,20 @@ void Stream::wait_event(const Event& event) {
   enqueue(std::move(barrier));
 }
 
-void Stream::synchronize() { record_event().wait(); }
+void Stream::synchronize() {
+  const Event event = record_event();
+  event.wait();
+  if (device_.hazard() != nullptr) {
+    // The host has now observed everything this stream retired; later
+    // enqueues (on any stream) are ordered after it via host program order.
+    HbClock clock;
+    {
+      std::lock_guard lock(event.state()->mutex);
+      clock = event.state()->hb_clock;
+    }
+    device_.hazard()->join_host_clock(clock);
+  }
+}
 
 double Stream::sim_time() const {
   std::lock_guard lock(time_mutex_);
@@ -77,19 +133,47 @@ double Stream::sim_time() const {
 }
 
 void Stream::worker_loop() {
-  while (auto task = queue_.pop()) {
+  while (true) {
+    if (fuzz_) {
+      // Deterministic seed-derived jitter before each dequeue: perturbs
+      // host-thread interleavings (what the hazard checker audits) without
+      // touching simulated time or numerics.
+      const std::uint64_t delay_us = splitmix64(fuzz_state_) % 181;
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    auto task = queue_.pop();
+    if (!task) break;
     run_task(*task);
   }
 }
 
 void Stream::run_task(PendingTask& task) {
   TaskDesc& desc = task.desc;
+  HazardChecker* const checker = device_.hazard();
+
+  // Happens-before: the task inherits this stream's program order (clock_),
+  // the host clock at enqueue time, and every awaited event's clock.
+  if (checker != nullptr) {
+    clock_join(clock_, task.enqueue_clock);
+  }
 
   // Resolve dependencies: host-block until every awaited event is signaled,
   // taking the max of their simulated timestamps.
   double ready = sim_time();
   for (const Event& event : desc.waits) {
     ready = std::max(ready, event.wait());
+    if (checker != nullptr) {
+      std::lock_guard lock(event.state()->mutex);
+      clock_join(clock_, event.state()->hb_clock);
+    }
+  }
+
+  // Tick this stream's slot so the clock uniquely stamps the task.
+  if (checker != nullptr) {
+    if (clock_.size() <= static_cast<std::size_t>(hb_slot_)) {
+      clock_.resize(static_cast<std::size_t>(hb_slot_) + 1, 0);
+    }
+    ++clock_[static_cast<std::size_t>(hb_slot_)];
   }
 
   double t_begin = ready;
@@ -98,6 +182,13 @@ void Stream::run_task(PendingTask& task) {
   if (desc.collective) {
     CollectiveGroup& group = *desc.collective;
     std::unique_lock lock(group.mutex);
+    // Every participant contributes its (ticked) clock before the
+    // rendezvous completes; joining the result back afterwards gives all
+    // parts one shared post-rendezvous stamp, so a collective orders all
+    // ranks' prior work before all ranks' subsequent work — including the
+    // parts' own declared accesses (the data movement happens inside the
+    // rendezvous).
+    if (checker != nullptr) clock_join(group.hb_join, clock_);
     group.start_max = std::max(group.start_max, ready);
     if (++group.arrived == group.nranks) {
       group.cv.notify_all();
@@ -115,6 +206,7 @@ void Stream::run_task(PendingTask& task) {
     } else {
       group.cv.wait(lock, [&] { return group.action_done; });
     }
+    if (checker != nullptr) clock_join(clock_, group.hb_join);
     t_begin = group.start_max;
     t_end = t_begin + group.duration;
   } else {
@@ -137,6 +229,10 @@ void Stream::run_task(PendingTask& task) {
     sim_time_ = t_end;
   }
 
+  if (checker != nullptr && (!desc.reads.empty() || !desc.writes.empty())) {
+    checker->on_task(desc.label, clock_, desc.reads, desc.writes);
+  }
+
   if (desc.traced && device_.trace() != nullptr) {
     device_.trace()->record(TraceRecord{
         .device = device_.rank(),
@@ -153,6 +249,7 @@ void Stream::run_task(PendingTask& task) {
     std::lock_guard lock(task.signal->mutex);
     task.signal->done = true;
     task.signal->sim_time = t_end;
+    if (checker != nullptr) task.signal->hb_clock = clock_;
   }
   task.signal->cv.notify_all();
 }
@@ -160,8 +257,12 @@ void Stream::run_task(PendingTask& task) {
 // --------------------------------------------------------------- Device --
 
 Device::Device(int rank, DeviceProfile profile, ExecutionMode mode,
-               Trace* trace)
-    : rank_(rank), profile_(std::move(profile)), mode_(mode), trace_(trace) {
+               Trace* trace, HazardChecker* hazard)
+    : rank_(rank),
+      profile_(std::move(profile)),
+      mode_(mode),
+      trace_(trace),
+      hazard_(hazard) {
   streams_.push_back(std::make_unique<Stream>(*this, kComputeStream));
   streams_.push_back(std::make_unique<Stream>(*this, kCommStream));
 }
@@ -186,7 +287,17 @@ void Device::reserve_memory(std::uint64_t bytes, const std::string& what) {
 
 void Device::release_memory(std::uint64_t bytes) noexcept {
   std::lock_guard lock(memory_mutex_);
-  memory_used_ = bytes <= memory_used_ ? memory_used_ - bytes : 0;
+  if (bytes > memory_used_) {
+    // A double release would silently corrupt the ledger; surface it.
+    MGGCN_LOG(kError) << "device " << rank_ << " memory release underflow: "
+                      << "releasing " << util::format_bytes(bytes)
+                      << " with only " << util::format_bytes(memory_used_)
+                      << " in use";
+    assert(false && "device memory release underflow");
+    memory_used_ = 0;
+    return;
+  }
+  memory_used_ -= bytes;
 }
 
 std::uint64_t Device::memory_used() const {
@@ -218,7 +329,10 @@ double Device::sim_time() const {
 
 DeviceBuffer::DeviceBuffer(Device& device, std::size_t elements,
                            std::string name)
-    : device_(&device), elements_(elements), name_(std::move(name)) {
+    : device_(&device),
+      elements_(elements),
+      name_(std::move(name)),
+      id_(next_buffer_id.fetch_add(1, std::memory_order_relaxed)) {
   device_->reserve_memory(bytes(), name_);
   if (device_->mode() == ExecutionMode::kReal && elements_ > 0) {
     storage_ = std::make_unique<float[]>(elements_);  // zero-initialized
@@ -231,9 +345,11 @@ DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
     : device_(other.device_),
       elements_(other.elements_),
       storage_(std::move(other.storage_)),
-      name_(std::move(other.name_)) {
+      name_(std::move(other.name_)),
+      id_(other.id_) {
   other.device_ = nullptr;
   other.elements_ = 0;
+  other.id_ = 0;
 }
 
 DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
@@ -243,10 +359,18 @@ DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
     elements_ = other.elements_;
     storage_ = std::move(other.storage_);
     name_ = std::move(other.name_);
+    id_ = other.id_;
     other.device_ = nullptr;
     other.elements_ = 0;
+    other.id_ = 0;
   }
   return *this;
+}
+
+BufferAccess DeviceBuffer::access() const {
+  return BufferAccess{
+      id_, name_ + "@gpu" +
+               std::to_string(device_ != nullptr ? device_->rank() : -1)};
 }
 
 std::span<float> DeviceBuffer::span() {
@@ -265,6 +389,7 @@ void DeviceBuffer::release() {
   }
   device_ = nullptr;
   elements_ = 0;
+  id_ = 0;
   storage_.reset();
 }
 

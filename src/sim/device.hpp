@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "sim/hazard.hpp"
 #include "sim/profile.hpp"
 #include "sim/trace.hpp"
 #include "util/blocking_queue.hpp"
@@ -49,6 +50,9 @@ class Event {
     std::condition_variable cv;
     bool done = false;
     double sim_time = 0.0;
+    /// Completing task's vector clock (empty unless hazard checking is on);
+    /// waiting tasks join it so event edges count as happens-before edges.
+    HbClock hb_clock;
   };
 
   Event() = default;
@@ -90,6 +94,9 @@ struct CollectiveGroup {
   int arrived = 0;
   double start_max = 0.0;
   bool action_done = false;
+  /// Join of every participant's clock; a collective orders all ranks'
+  /// prior work before all ranks' subsequent work (hazard checking only).
+  HbClock hb_join;
 };
 
 /// One task enqueued on a stream.
@@ -104,6 +111,10 @@ struct TaskDesc {
   std::function<void()> body;
   /// Events this task waits on before starting.
   std::vector<Event> waits;
+  /// Declared buffer accesses, audited by the machine's HazardChecker
+  /// (see DeviceBuffer::access()). Empty lists opt the task out.
+  std::vector<BufferAccess> reads;
+  std::vector<BufferAccess> writes;
   /// Record in the trace (markers/syncs are not traced).
   bool traced = true;
 
@@ -146,6 +157,9 @@ class Stream {
   struct PendingTask {
     TaskDesc desc;
     std::shared_ptr<Event::State> signal;
+    /// Host clock at enqueue time: host program order (enqueue after a
+    /// synchronize) is a happens-before edge (hazard checking only).
+    HbClock enqueue_clock;
   };
 
   void worker_loop();
@@ -156,6 +170,13 @@ class Stream {
   util::BlockingQueue<PendingTask> queue_;
   mutable std::mutex time_mutex_;
   double sim_time_ = 0.0;
+  /// Hazard-checking state, touched only by the worker thread after
+  /// construction: this stream's clock slot and running vector clock.
+  int hb_slot_ = -1;
+  HbClock clock_;
+  /// MGGCN_SCHED_FUZZ: deterministic per-stream delay injection.
+  bool fuzz_ = false;
+  std::uint64_t fuzz_state_ = 0;
   std::thread worker_;
 };
 
@@ -166,7 +187,8 @@ class Device {
   static constexpr int kComputeStream = 0;
   static constexpr int kCommStream = 1;
 
-  Device(int rank, DeviceProfile profile, ExecutionMode mode, Trace* trace);
+  Device(int rank, DeviceProfile profile, ExecutionMode mode, Trace* trace,
+         HazardChecker* hazard = nullptr);
   ~Device();
 
   Device(const Device&) = delete;
@@ -176,6 +198,7 @@ class Device {
   [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
   [[nodiscard]] ExecutionMode mode() const { return mode_; }
   [[nodiscard]] Trace* trace() const { return trace_; }
+  [[nodiscard]] HazardChecker* hazard() const { return hazard_; }
 
   [[nodiscard]] Stream& compute_stream() { return *streams_[kComputeStream]; }
   [[nodiscard]] Stream& comm_stream() { return *streams_[kCommStream]; }
@@ -209,6 +232,7 @@ class Device {
   DeviceProfile profile_;
   ExecutionMode mode_;
   Trace* trace_;
+  HazardChecker* hazard_;
   std::atomic<bool> failed_{false};
 
   mutable std::mutex memory_mutex_;
@@ -240,6 +264,13 @@ class DeviceBuffer {
   [[nodiscard]] Device* device() const { return device_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Stable identity for hazard auditing: unique per allocation, carried
+  /// across moves, 0 for a default-constructed/released buffer.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// This buffer's declared-access record for TaskDesc::reads/writes.
+  [[nodiscard]] BufferAccess access() const;
+
   /// Host storage view; empty span in phantom mode.
   [[nodiscard]] std::span<float> span();
   [[nodiscard]] std::span<const float> span() const;
@@ -253,6 +284,7 @@ class DeviceBuffer {
   std::size_t elements_ = 0;
   std::unique_ptr<float[]> storage_;
   std::string name_;
+  std::uint64_t id_ = 0;
 };
 
 }  // namespace mggcn::sim

@@ -7,6 +7,7 @@
 
 #include "sim/device.hpp"
 #include "sim/fault.hpp"
+#include "sim/hazard.hpp"
 #include "sim/profile.hpp"
 #include "sim/trace.hpp"
 
@@ -14,8 +15,13 @@ namespace mggcn::sim {
 
 class Machine {
  public:
+  /// `hazard_check` enables the happens-before hazard audit (one
+  /// HazardChecker shared by every stream); it defaults to the
+  /// MGGCN_HAZARD_CHECK environment variable so CI can switch the whole
+  /// test suite on without code changes.
   Machine(MachineProfile profile, int num_devices,
-          ExecutionMode mode = ExecutionMode::kReal);
+          ExecutionMode mode = ExecutionMode::kReal,
+          bool hazard_check = hazard_check_env());
 
   [[nodiscard]] int num_devices() const {
     return static_cast<int>(devices_.size());
@@ -27,6 +33,9 @@ class Machine {
   [[nodiscard]] const MachineProfile& profile() const { return profile_; }
   [[nodiscard]] ExecutionMode mode() const { return mode_; }
   [[nodiscard]] Trace& trace() { return trace_; }
+
+  /// Null when hazard checking is off.
+  [[nodiscard]] HazardChecker* hazard_checker() const { return hazard_.get(); }
 
   /// Drains every stream of every device.
   void synchronize();
@@ -61,6 +70,7 @@ class Machine {
   ExecutionMode mode_;
   Trace trace_;
   std::shared_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<HazardChecker> hazard_;  ///< must outlive devices_
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

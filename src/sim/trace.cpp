@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -35,6 +36,15 @@ const char* fault_event_kind_name(FaultEventKind kind) {
   return "?";
 }
 
+const char* hazard_kind_name(HazardKind kind) {
+  switch (kind) {
+    case HazardKind::kReadAfterWrite: return "read-after-write";
+    case HazardKind::kWriteAfterWrite: return "write-after-write";
+    case HazardKind::kWriteAfterRead: return "write-after-read";
+  }
+  return "?";
+}
+
 void Trace::record(TraceRecord rec) {
   std::lock_guard lock(mutex_);
   records_.push_back(std::move(rec));
@@ -45,10 +55,26 @@ void Trace::record_fault(FaultRecord rec) {
   fault_records_.push_back(std::move(rec));
 }
 
+void Trace::record_hazard(HazardRecord rec) {
+  std::lock_guard lock(mutex_);
+  hazard_records_.push_back(std::move(rec));
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
   fault_records_.clear();
+  hazard_records_.clear();
+}
+
+std::vector<HazardRecord> Trace::hazard_records() const {
+  std::lock_guard lock(mutex_);
+  return hazard_records_;
+}
+
+std::size_t Trace::hazard_count() const {
+  std::lock_guard lock(mutex_);
+  return hazard_records_.size();
 }
 
 std::vector<FaultRecord> Trace::fault_records() const {
@@ -92,6 +118,32 @@ std::vector<TraceRecord> Trace::device_records(int device, double since) const {
   return out;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 void Trace::export_chrome_json(const std::string& path) const {
   std::ofstream os(path, std::ios::trunc);
   if (!os.is_open()) return;
@@ -100,10 +152,11 @@ void Trace::export_chrome_json(const std::string& path) const {
   for (const auto& rec : records()) {
     if (!first) os << ",\n";
     first = false;
-    os << "  {\"name\": \"" << rec.label << "\", \"cat\": \""
-       << task_kind_name(rec.kind) << "\", \"ph\": \"X\", \"pid\": "
-       << rec.device << ", \"tid\": " << rec.stream << ", \"ts\": "
-       << rec.t_begin * 1e6 << ", \"dur\": " << rec.duration() * 1e6;
+    os << "  {\"name\": \"" << json_escape(rec.label) << "\", \"cat\": \""
+       << json_escape(task_kind_name(rec.kind))
+       << "\", \"ph\": \"X\", \"pid\": " << rec.device
+       << ", \"tid\": " << rec.stream << ", \"ts\": " << rec.t_begin * 1e6
+       << ", \"dur\": " << rec.duration() * 1e6;
     if (rec.stage >= 0) {
       os << ", \"args\": {\"stage\": " << rec.stage << '}';
     }

@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mggcn::sim {
@@ -49,6 +50,25 @@ struct FaultRecord {
   std::string detail;
 };
 
+/// How two unordered accesses to the same buffer conflict.
+enum class HazardKind {
+  kReadAfterWrite,   ///< a read not ordered after the last write
+  kWriteAfterWrite,  ///< a write not ordered after the last write
+  kWriteAfterRead,   ///< a write not ordered after a read since that write
+};
+
+const char* hazard_kind_name(HazardKind kind);
+
+/// One data-hazard detected by sim::HazardChecker: task `later` accessed
+/// `buffer` without a happens-before edge from `earlier`'s conflicting
+/// access.
+struct HazardRecord {
+  HazardKind kind = HazardKind::kReadAfterWrite;
+  std::string buffer;
+  std::string earlier;
+  std::string later;
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -68,12 +88,17 @@ class Trace {
  public:
   void record(TraceRecord rec);
   void record_fault(FaultRecord rec);
+  void record_hazard(HazardRecord rec);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
 
   /// All fault/recovery events recorded so far, in firing order.
   [[nodiscard]] std::vector<FaultRecord> fault_records() const;
+
+  /// Hazards reported by the machine's HazardChecker, in detection order.
+  [[nodiscard]] std::vector<HazardRecord> hazard_records() const;
+  [[nodiscard]] std::size_t hazard_count() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -101,6 +126,11 @@ class Trace {
   mutable std::mutex mutex_;
   std::vector<TraceRecord> records_;
   std::vector<FaultRecord> fault_records_;
+  std::vector<HazardRecord> hazard_records_;
 };
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (the latter as \uXXXX).
+[[nodiscard]] std::string json_escape(std::string_view s);
 
 }  // namespace mggcn::sim

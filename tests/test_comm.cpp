@@ -24,8 +24,10 @@ std::vector<sim::DeviceBuffer> make_buffers(sim::Machine& machine,
 }
 
 std::vector<RankPart> parts_of(std::vector<sim::DeviceBuffer>& buffers) {
-  std::vector<RankPart> parts;
-  for (auto& b : buffers) parts.push_back(RankPart{&b, {}});
+  std::vector<RankPart> parts(buffers.size());
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    parts[r].buffer = &buffers[r];
+  }
   return parts;
 }
 
@@ -250,7 +252,9 @@ TEST(Communicator, SubsetCommunicatorWorks) {
   sim::DeviceBuffer b0(machine.device(0), count, "b0");
   sim::DeviceBuffer b2(machine.device(2), count, "b2");
   for (auto& x : b0.span()) x = 7.0f;
-  std::vector<RankPart> parts = {{&b0, {}}, {&b2, {}}};
+  std::vector<RankPart> parts(2);
+  parts[0].buffer = &b0;
+  parts[1].buffer = &b2;
   auto events = comm.broadcast(std::move(parts), count, 0);
   for (auto& e : events) e.wait();
   for (const float x : b2.span()) ASSERT_EQ(x, 7.0f);

@@ -260,6 +260,195 @@ TEST(Trace, ChromeJsonExport) {
   EXPECT_NE(json.find("\"stage\": 1"), std::string::npos);
 }
 
+TEST(Trace, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("\b\f\r"), "\\b\\f\\r");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+namespace json {
+// Minimal recursive-descent JSON reader for the round-trip test: validates
+// the whole document and collects every string value encountered.
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::vector<std::string> strings;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\r' ||
+                            s[i] == '\t')) {
+      ++i;
+    }
+  }
+  bool lit(const char* text) {
+    const std::size_t n = std::string(text).size();
+    if (s.compare(i, n, text) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    std::string value;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // unescaped
+      if (c == '\\') {
+        if (++i >= s.size()) return false;
+        switch (s[i]) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'b': value += '\b'; break;
+          case 'f': value += '\f'; break;
+          case 'n': value += '\n'; break;
+          case 'r': value += '\r'; break;
+          case 't': value += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            const std::string hex = s.substr(i + 1, 4);
+            value += static_cast<char>(std::stoi(hex, nullptr, 16));
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++i;
+      } else {
+        value += c;
+        ++i;
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    strings.push_back(value);
+    if (out != nullptr) *out = value;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+            s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '-' ||
+            s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '{') return object();
+    if (s[i] == '[') return array();
+    if (s[i] == '"') return string(nullptr);
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+  bool object() {
+    ++i;  // '{'
+    ws();
+    if (i < s.size() && s[i] == '}') { ++i; return true; }
+    while (true) {
+      ws();
+      if (!string(nullptr)) return false;
+      ws();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    ws();
+    if (i >= s.size() || s[i] != '}') return false;
+    ++i;
+    return true;
+  }
+  bool array() {
+    ++i;  // '['
+    ws();
+    if (i < s.size() && s[i] == ']') { ++i; return true; }
+    while (true) {
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    ws();
+    if (i >= s.size() || s[i] != ']') return false;
+    ++i;
+    return true;
+  }
+  bool document() {
+    if (!value()) return false;
+    ws();
+    return i == s.size();
+  }
+};
+}  // namespace json
+
+TEST(Trace, ChromeJsonRoundTripsHostileLabels) {
+  Machine machine = make_machine(1);
+  const std::vector<std::string> labels = {
+      "quote\"inside", "back\\slash", "new\nline", "tab\there",
+      std::string("ctrl\x02char"),
+  };
+  for (const auto& label : labels) {
+    TaskDesc task = cheap_task(nullptr, 1.0);
+    task.label = label;
+    machine.device(0).compute_stream().enqueue(std::move(task));
+  }
+  machine.synchronize();
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mggcn_trace_escape.json")
+          .string();
+  machine.trace().export_chrome_json(path);
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+
+  json::Parser parser{text, 0, {}};
+  ASSERT_TRUE(parser.document()) << "export is not valid JSON near offset "
+                                 << parser.i;
+  // Every hostile label must survive the escape/parse round trip verbatim.
+  for (const auto& label : labels) {
+    EXPECT_NE(std::find(parser.strings.begin(), parser.strings.end(), label),
+              parser.strings.end())
+        << "label lost in round trip: " << json_escape(label);
+  }
+}
+
+#ifndef NDEBUG
+TEST(MemoryDeathTest, ReleaseUnderflowAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Machine machine(dgx_v100(), 1);
+        Device& device = machine.device(0);
+        device.reserve_memory(100, "a");
+        device.release_memory(200);
+      },
+      "underflow");
+}
+#else
+TEST(Memory, ReleaseUnderflowClampsInRelease) {
+  Machine machine = make_machine(1);
+  Device& device = machine.device(0);
+  device.reserve_memory(100, "a");
+  device.release_memory(200);  // logs an error, clamps instead of wrapping
+  EXPECT_EQ(device.memory_used(), 0u);
+}
+#endif
+
 TEST(Profiles, TableValues) {
   const auto v100 = dgx_v100();
   EXPECT_EQ(v100.device.memory_bytes, 32ULL << 30);
