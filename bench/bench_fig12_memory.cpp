@@ -10,6 +10,7 @@
 #include "baselines/cagnet.hpp"
 #include "baselines/dgl_like.hpp"
 #include "bench/common.hpp"
+#include "comm/comm_mode.hpp"
 #include "core/trainer.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -23,9 +24,11 @@ constexpr double kBudgetGiB = 30.0;
 /// Peak per-GPU bytes (full-scale extrapolated) for an L-layer model, or
 /// -1 when construction itself OOMs against the (scaled) 32 GiB V100.
 double peak_gib(bench::System system, const sim::MachineProfile& profile,
-                int gpus, const graph::Dataset& ds, int layers) {
+                int gpus, const graph::Dataset& ds, int layers,
+                comm::CommMode mode = comm::CommMode::kDense) {
   core::TrainConfig config = core::model_hidden512();
   config.hidden_dims.assign(static_cast<std::size_t>(layers - 1), 512);
+  config.comm_mode = mode;
   const bench::EpochResult r =
       bench::run_epoch(system, profile, gpus, ds, config);
   if (r.oom) return -1.0;
@@ -34,10 +37,11 @@ double peak_gib(bench::System system, const sim::MachineProfile& profile,
 
 /// Largest layer count whose peak memory fits the 30 GiB budget.
 int max_layers(bench::System system, const sim::MachineProfile& profile,
-               int gpus, const graph::Dataset& ds) {
+               int gpus, const graph::Dataset& ds,
+               comm::CommMode mode = comm::CommMode::kDense) {
   int lo = 1, hi = 2;
   while (true) {
-    const double gib = peak_gib(system, profile, gpus, ds, hi);
+    const double gib = peak_gib(system, profile, gpus, ds, hi, mode);
     if (gib < 0 || gib > kBudgetGiB) break;
     lo = hi;
     hi *= 2;
@@ -45,7 +49,7 @@ int max_layers(bench::System system, const sim::MachineProfile& profile,
   }
   while (lo + 1 < hi) {
     const int mid = (lo + hi) / 2;
-    const double gib = peak_gib(system, profile, gpus, ds, mid);
+    const double gib = peak_gib(system, profile, gpus, ds, mid, mode);
     if (gib >= 0 && gib <= kBudgetGiB) {
       lo = mid;
     } else {
@@ -80,19 +84,25 @@ int main(int argc, char** argv) {
                       ds.scale);
 
   util::Table table({"Layers", "DGL 1GPU (GiB)", "MG-GCN 1GPU (GiB)",
-                     "CAGNET 8GPU (GiB)", "MG-GCN 8GPU (GiB)"});
+                     "CAGNET 8GPU (GiB)", "MG-GCN 8GPU (GiB)",
+                     "MG-GCN 8GPU compact (GiB)"});
   for (const auto layers : cli.get_int_list("layers")) {
     const int l = static_cast<int>(layers);
-    auto cell = [&](bench::System system, int gpus) {
-      const double gib = peak_gib(system, profile, gpus, ds, l);
+    auto cell = [&](bench::System system, int gpus,
+                    comm::CommMode mode = comm::CommMode::kDense) {
+      const double gib = peak_gib(system, profile, gpus, ds, l, mode);
       return gib < 0 ? std::string("OOM") : util::format_double(gib, 2);
     };
     table.add_row({std::to_string(l), cell(bench::System::kDgl, 1),
                    cell(bench::System::kMgGcn, 1),
                    cell(bench::System::kCagnet, 8),
-                   cell(bench::System::kMgGcn, 8)});
+                   cell(bench::System::kMgGcn, 8),
+                   cell(bench::System::kMgGcn, 8,
+                        comm::CommMode::kCompact)});
   }
-  std::cout << table.to_string() << '\n';
+  std::cout << table.to_string()
+            << "(compact adds only the layer-count-independent ghost maps, "
+               "so the L+3 slope is unchanged)\n\n";
 
   util::Table fits({"Setting", "System", "max layers under 30 GiB"});
   fits.add_row({"1 GPU", "DGL",
@@ -103,6 +113,9 @@ int main(int argc, char** argv) {
                 std::to_string(max_layers(bench::System::kCagnet, profile, 8, ds))});
   fits.add_row({"8 GPUs", "MG-GCN",
                 std::to_string(max_layers(bench::System::kMgGcn, profile, 8, ds))});
+  fits.add_row({"8 GPUs", "MG-GCN compact",
+                std::to_string(max_layers(bench::System::kMgGcn, profile, 8,
+                                          ds, comm::CommMode::kCompact))});
   std::cout << fits.to_string()
             << "\n(paper: ~20 vs ~50 on 1 GPU; ~150 vs ~450 on 8 GPUs)\n";
   return 0;

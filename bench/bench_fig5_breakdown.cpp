@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
                 << gpus << ", \"oom\": false, \"epoch_seconds\": " << r.seconds
                 << ", \"busy_seconds\": {\"spmm\": " << spmm
                 << ", \"gemm\": " << gemm << ", \"activation\": " << act
-                << ", \"loss\": " << loss << ", \"adam\": " << adam << "}}";
+                << ", \"loss\": " << loss << ", \"adam\": " << adam << "}, "
+                << bench::comm_json_fragment(r) << "}";
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 
 #include <array>
 
@@ -101,6 +102,13 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
         static_cast<std::uint64_t>(
             static_cast<double>(stats.peak_memory_bytes - invariant_part) * x);
     result.imbalance = trainer.tile_imbalance();
+    result.comm_wire_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stats.comm_wire_bytes) * x);
+    result.comm_bytes_saved = static_cast<std::uint64_t>(
+        static_cast<double>(stats.comm_bytes_saved) * x);
+    result.comm_packs = stats.comm_packs;
+    result.comm_compact_stages = stats.comm_compact_stages;
+    result.comm_dense_stages = stats.comm_dense_stages;
   } catch (const OutOfMemoryError&) {
     result.oom = true;
   }
@@ -186,6 +194,16 @@ SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
 std::string cell_seconds(const EpochResult& result) {
   if (result.oom) return "OOM";
   return util::format_double(result.seconds, result.seconds < 0.1 ? 4 : 3);
+}
+
+std::string comm_json_fragment(const EpochResult& result) {
+  std::ostringstream os;
+  os << "\"comm\": {\"wire_bytes\": " << result.comm_wire_bytes
+     << ", \"bytes_saved\": " << result.comm_bytes_saved
+     << ", \"packs\": " << result.comm_packs
+     << ", \"compact_stages\": " << result.comm_compact_stages
+     << ", \"dense_stages\": " << result.comm_dense_stages << "}";
+  return os.str();
 }
 
 void print_header(const std::string& id, const std::string& what,

@@ -46,6 +46,15 @@ struct EpochResult {
   std::uint64_t peak_memory = 0;
   /// Load imbalance of the tiling (max/mean tile-row nnz).
   double imbalance = 1.0;
+  /// Full-scale-extrapolated staged-exchange wire bytes and the bytes the
+  /// compacted path avoided vs all-dense broadcasts (0 under dense mode).
+  std::uint64_t comm_wire_bytes = 0;
+  std::uint64_t comm_bytes_saved = 0;
+  /// Per-destination pack operations and per-path stage counts (replica
+  /// counts; scale-invariant, not extrapolated).
+  std::uint64_t comm_packs = 0;
+  int comm_compact_stages = 0;
+  int comm_dense_stages = 0;
 };
 
 /// Builds a phantom-mode machine + the requested system and measures one
@@ -59,6 +68,10 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine,
 /// Pretty seconds for table cells ("0.033" style, like the paper's tables);
 /// "OOM" when the configuration did not fit.
 std::string cell_seconds(const EpochResult& result);
+
+/// The epoch's exchange-path counters as a JSON object fragment
+/// (`"comm": {...}`), for splicing into a bench's --json rows.
+std::string comm_json_fragment(const EpochResult& result);
 
 /// Isolated one-shot distributed SpMM for the timeline figures (6 and 8):
 /// partitions the dataset's normalized adjacency transpose, allocates the

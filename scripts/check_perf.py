@@ -25,11 +25,24 @@ and enforces three properties:
    must reach ``--min-skew-speedup`` — the inspector-executor payoff on
    the heavy-tailed degree distributions it targets.
 
+4. **Compacted-exchange gate** (``--comm <json>``, from
+   ``bench_comm_volume --json``): for every (machine, gpus, degree,
+   permutation) group, the ``auto`` exchange mode must be at least
+   ``--comm-min-speedup`` (default ~1.0) times as fast as ``dense`` —
+   the cost-model selector must never regress a dense-friendly graph —
+   and on the low-bandwidth gate rows (``--comm-gate-gpus``, degree
+   ``<= --comm-gate-max-degree``) it must reach ``--comm-gate-speedup``
+   (default 1.2x) with strictly fewer wire bytes than dense. When the
+   committed baseline has a ``comm_volume`` section, each group's
+   auto-over-dense speedup is also checked against it with the
+   ``--max-regression`` allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
 and ``--benchmark_repetitions=5``; this script prefers the ``median``
-aggregate over per-iteration rows when repetitions are present.
+aggregate over per-iteration rows when repetitions are present. Check 4
+runs in phantom mode, which is deterministic, so its ratios are exact.
 
 Refresh the baseline after an intentional perf change with::
 
@@ -156,9 +169,87 @@ def check_planned(current: dict[str, float], min_planned: float,
     return failures, report
 
 
+def load_comm_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "comm_volume":
+        raise ValueError(f"{path} is not a bench_comm_volume JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return [row for row in doc.get("rows", []) if not row.get("oom")]
+
+
+def comm_groups(rows: list[dict]) -> dict[tuple, dict[str, dict]]:
+    """(machine, gpus, avg_degree, permute) -> mode -> row."""
+    groups: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        key = (row["machine"], row["gpus"], row["avg_degree"],
+               row["permute"])
+        groups.setdefault(key, {})[row["mode"]] = row
+    return groups
+
+
+def check_comm(rows: list[dict], min_everywhere: float, gate_gpus: int,
+               gate_max_degree: int, gate_speedup: float
+               ) -> tuple[list[str], list[str], dict[str, float]]:
+    """The auto-vs-dense exchange gate over bench_comm_volume rows."""
+    failures, report = [], []
+    speedups: dict[str, float] = {}
+    gate_rows = 0
+    for key, modes in sorted(comm_groups(rows).items()):
+        machine, gpus, degree, permute = key
+        dense, auto = modes.get("dense"), modes.get("auto")
+        if dense is None or auto is None:
+            continue
+        if auto["epoch_seconds"] <= 0 or dense["epoch_seconds"] <= 0:
+            continue
+        speedup = dense["epoch_seconds"] / auto["epoch_seconds"]
+        name = (f"{machine}/gpus:{gpus}/deg:{degree}/"
+                f"perm:{'on' if permute else 'off'}")
+        speedups[name] = speedup
+        report.append(f"comm {name}: auto {speedup:.2f}x over dense")
+        if speedup < min_everywhere:
+            failures.append(
+                f"comm: auto slower than dense on {name}: {speedup:.3f}x "
+                f"(required >= {min_everywhere:.3f}x everywhere)")
+        if gpus == gate_gpus and degree <= gate_max_degree:
+            gate_rows += 1
+            if speedup < gate_speedup:
+                failures.append(
+                    f"comm gate: {name} is {speedup:.2f}x over dense "
+                    f"(the low-density low-bandwidth config must reach "
+                    f"{gate_speedup:.2f}x)")
+            if auto["wire_bytes"] >= dense["wire_bytes"]:
+                failures.append(
+                    f"comm gate: {name} moved {auto['wire_bytes']} wire "
+                    f"bytes, not fewer than dense's {dense['wire_bytes']}")
+    if gate_rows == 0:
+        failures.append(
+            f"comm gate: no rows at gpus={gate_gpus} with avg_degree <= "
+            f"{gate_max_degree}; the low-bandwidth gate did not run")
+    return failures, report, speedups
+
+
+def check_comm_baseline(speedups: dict[str, float],
+                        baseline: dict[str, float],
+                        max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in speedups:
+            print(f"warning: baseline comm config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if speedups[name] < floor:
+            failures.append(
+                f"comm regression: {name}: auto is {speedups[name]:.2f}x "
+                f"over dense < {floor:.2f}x (baseline {base:.2f}x, allowed "
+                f"-{max_regression:.0%})")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path,
+    parser.add_argument("current", type=Path, nargs="?", default=None,
                         help="bench_kernels JSON from this run")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help="committed baseline JSON (default: %(default)s)")
@@ -177,45 +268,98 @@ def main() -> int:
     parser.add_argument("--large-n", type=int, default=16384,
                         help="row count that marks a case as large for the "
                         "planned gates (default: %(default)s)")
+    parser.add_argument("--comm", type=Path, default=None,
+                        help="bench_comm_volume JSON to gate (check 4)")
+    parser.add_argument("--comm-min-speedup", type=float, default=0.999,
+                        help="auto-over-dense epoch ratio required on every "
+                        "comm config (default: %(default)s)")
+    parser.add_argument("--comm-gate-gpus", type=int, default=2,
+                        help="GPU count of the low-bandwidth gate config "
+                        "(cube-mesh pairs see 2 of 6 links; default: "
+                        "%(default)s)")
+    parser.add_argument("--comm-gate-max-degree", type=int, default=2,
+                        help="largest avg degree counted as the low-density "
+                        "gate (default: %(default)s)")
+    parser.add_argument("--comm-gate-speedup", type=float, default=1.2,
+                        help="auto-over-dense ratio required on the gate "
+                        "rows (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
     args = parser.parse_args()
 
-    current = load_throughputs(args.current)
-    if not current:
-        print(f"error: no '{COUNTER}' counters in {args.current}",
+    if args.current is None and args.comm is None:
+        print("error: pass a bench_kernels JSON, --comm <json>, or both",
               file=sys.stderr)
         return 1
 
+    current: dict[str, float] = {}
+    if args.current is not None:
+        current = load_throughputs(args.current)
+        if not current:
+            print(f"error: no '{COUNTER}' counters in {args.current}",
+                  file=sys.stderr)
+            return 1
+
+    comm_rows = load_comm_rows(args.comm) if args.comm is not None else None
+    comm_speedups: dict[str, float] = {}
+
     if args.update:
-        payload = {
-            "_comment": "Recorded bench_kernels throughput; refresh with "
-                        "scripts/check_perf.py <json> --update after an "
-                        "intentional perf change.",
-            "counter": COUNTER,
-            "benchmarks": {k: current[k] for k in sorted(current)},
-        }
+        payload = {}
+        if args.baseline.exists():
+            payload = json.loads(args.baseline.read_text())
+        payload.setdefault(
+            "_comment",
+            "Recorded bench_kernels throughput; refresh with "
+            "scripts/check_perf.py <json> --update after an "
+            "intentional perf change.")
+        payload["counter"] = COUNTER
+        if current:
+            payload["benchmarks"] = {k: current[k] for k in sorted(current)}
+        if comm_rows is not None:
+            _, _, comm_speedups = check_comm(
+                comm_rows, args.comm_min_speedup, args.comm_gate_gpus,
+                args.comm_gate_max_degree, args.comm_gate_speedup)
+            payload["comm_volume"] = {
+                k: comm_speedups[k] for k in sorted(comm_speedups)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"baseline updated: {args.baseline} "
-              f"({len(current)} benchmarks)")
+        print(f"baseline updated: {args.baseline} ({len(current)} "
+              f"benchmarks, {len(comm_speedups)} comm configs)")
         return 0
 
     failures: list[str] = []
+    baseline_doc: dict = {}
     if args.baseline.exists():
-        baseline = json.loads(args.baseline.read_text())["benchmarks"]
-        failures += check_regressions(current, baseline, args.max_regression)
+        baseline_doc = json.loads(args.baseline.read_text())
+        if current:
+            failures += check_regressions(current,
+                                          baseline_doc["benchmarks"],
+                                          args.max_regression)
     else:
         print(f"warning: baseline {args.baseline} not found; skipping the "
               f"regression check", file=sys.stderr)
 
-    speedup_failures, report = check_speedups(current, args.min_speedup)
-    failures += speedup_failures
-    planned_failures, planned_report = check_planned(
-        current, args.min_planned_speedup, args.min_skew_speedup,
-        args.large_n)
-    failures += planned_failures
-    for line in report + planned_report:
+    report: list[str] = []
+    planned_report: list[str] = []
+    if current:
+        speedup_failures, report = check_speedups(current, args.min_speedup)
+        failures += speedup_failures
+        planned_failures, planned_report = check_planned(
+            current, args.min_planned_speedup, args.min_skew_speedup,
+            args.large_n)
+        failures += planned_failures
+
+    comm_report: list[str] = []
+    if comm_rows is not None:
+        comm_failures, comm_report, comm_speedups = check_comm(
+            comm_rows, args.comm_min_speedup, args.comm_gate_gpus,
+            args.comm_gate_max_degree, args.comm_gate_speedup)
+        failures += comm_failures
+        if "comm_volume" in baseline_doc:
+            failures += check_comm_baseline(comm_speedups,
+                                            baseline_doc["comm_volume"],
+                                            args.max_regression)
+    for line in report + planned_report + comm_report:
         print(line)
 
     if failures:
@@ -223,7 +367,8 @@ def main() -> int:
         for f in failures:
             print(f"  FAIL: {f}", file=sys.stderr)
         return 1
-    print(f"check_perf: OK ({len(current)} benchmarks checked)")
+    print(f"check_perf: OK ({len(current)} benchmarks, "
+          f"{len(comm_speedups)} comm configs checked)")
     return 0
 
 

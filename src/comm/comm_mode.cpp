@@ -1,0 +1,56 @@
+#include "comm/comm_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mggcn::comm {
+
+namespace {
+
+CommMode mode_from_env() {
+  const char* env = std::getenv("MGGCN_COMM");
+  if (env == nullptr || *env == '\0') return CommMode::kAuto;
+  const auto parsed = parse_comm_mode(env);
+  MGGCN_CHECK_MSG(parsed.has_value(),
+                  std::string("MGGCN_COMM must be 'dense', 'compact', or "
+                              "'auto', got '") +
+                      env + "'");
+  return *parsed;
+}
+
+std::atomic<CommMode>& active_mode() {
+  static std::atomic<CommMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+const char* comm_mode_name(CommMode mode) {
+  switch (mode) {
+    case CommMode::kDense:
+      return "dense";
+    case CommMode::kCompact:
+      return "compact";
+    case CommMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<CommMode> parse_comm_mode(std::string_view name) {
+  if (name == "dense") return CommMode::kDense;
+  if (name == "compact") return CommMode::kCompact;
+  if (name == "auto") return CommMode::kAuto;
+  return std::nullopt;
+}
+
+CommMode comm_mode() { return active_mode().load(std::memory_order_relaxed); }
+
+void set_comm_mode(CommMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::comm

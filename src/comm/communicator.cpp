@@ -162,6 +162,82 @@ std::vector<sim::Event> Communicator::broadcast(std::vector<RankPart> parts,
                 std::move(action), stream, stage);
 }
 
+double Communicator::sendv_rows_seconds(std::uint64_t total_bytes,
+                                        int messages) const {
+  if (size() <= 1 || messages <= 0) return 0.0;
+  const double wire = topology_.sendv_seconds(total_bytes, messages, size());
+  // Root-side pack: the payload rows are gathered out of the source block
+  // and staged into the per-destination sends — one read plus one write of
+  // the payload at the root's HBM bandwidth. Folding it into the
+  // collective duration keeps the pack on the comm stream, where it
+  // overlaps compute exactly like the wire time does.
+  const double bandwidth = devices_.front()->profile().memory_bandwidth;
+  const double pack =
+      bandwidth > 0.0 ? 2.0 * static_cast<double>(total_bytes) / bandwidth
+                      : 0.0;
+  return wire + pack;
+}
+
+std::vector<sim::Event> Communicator::sendv_rows(
+    std::vector<RankPart> parts,
+    std::vector<std::span<const std::uint32_t>> rows, std::int64_t d,
+    int root, StreamChoice stream, int stage) {
+  MGGCN_CHECK(root >= 0 && root < size());
+  MGGCN_CHECK(d > 0);
+  MGGCN_CHECK_MSG(rows.size() == parts.size(),
+                  "sendv_rows needs one row list per rank");
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    if (parts[r].buffer == nullptr) continue;
+    if (static_cast<int>(r) == root) {
+      parts[r].reads.push_back(parts[r].buffer->access());
+    } else if (!rows[r].empty()) {
+      parts[r].writes.push_back(parts[r].buffer->access());
+    }
+  }
+  if (size() == 1) {
+    return launch(std::move(parts), 0, 0, 0.0, "sendv_rows", nullptr, stream,
+                  stage);
+  }
+
+  std::uint64_t total_rows = 0;
+  int messages = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(r) == root || rows[r].empty()) continue;
+    total_rows += rows[r].size();
+    ++messages;
+  }
+  const std::uint64_t bytes =
+      total_rows * static_cast<std::uint64_t>(d) * sizeof(float);
+  const double duration = sendv_rows_seconds(bytes, messages);
+
+  const float* src = parts[static_cast<std::size_t>(root)].buffer != nullptr
+                         ? parts[static_cast<std::size_t>(root)].buffer->data()
+                         : nullptr;
+  std::vector<float*> dsts;
+  for (auto& part : parts) {
+    dsts.push_back(part.buffer != nullptr ? part.buffer->data() : nullptr);
+  }
+
+  auto action = [src, dsts = std::move(dsts), rows = std::move(rows), d,
+                 root] {
+    if (src == nullptr) return;  // phantom-mode buffers carry no storage
+    for (std::size_t rank = 0; rank < dsts.size(); ++rank) {
+      if (static_cast<int>(rank) == root || dsts[rank] == nullptr) continue;
+      float* dst = dsts[rank];
+      for (std::size_t i = 0; i < rows[rank].size(); ++i) {
+        std::memcpy(dst + static_cast<std::int64_t>(i) * d,
+                    src + static_cast<std::int64_t>(rows[rank][i]) * d,
+                    static_cast<std::size_t>(d) * sizeof(float));
+      }
+    }
+  };
+  return launch(std::move(parts),
+                static_cast<std::size_t>(total_rows) *
+                    static_cast<std::size_t>(d),
+                root, duration, "sendv_rows", std::move(action), stream,
+                stage);
+}
+
 std::vector<sim::Event> Communicator::allreduce_sum(std::vector<RankPart> parts,
                                                     std::size_t count,
                                                     StreamChoice stream) {

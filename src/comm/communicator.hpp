@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include <functional>
@@ -69,6 +70,29 @@ class Communicator {
                                     std::size_t count, int root,
                                     StreamChoice stream = StreamChoice::kComm,
                                     int stage = -1);
+
+  /// Compacted (ghost-row) exchange: the root packs, for each destination
+  /// rank r, the rows of its block listed in `rows[r]` (row indices into
+  /// the root's `d`-wide block, ascending) into the head of
+  /// parts[r].buffer — destination row i receives source row rows[r][i].
+  /// rows[root] is ignored; an empty list sends that rank nothing. The
+  /// simulated duration charges the *actual* payload bytes (alpha per
+  /// destination message + beta over the topology bandwidth,
+  /// Topology::sendv_seconds) plus the root-side pack traffic — see
+  /// sendv_rows_seconds, which the auto-selector prices stages with.
+  /// Hazard declarations mirror broadcast: root reads, receivers written.
+  std::vector<sim::Event> sendv_rows(
+      std::vector<RankPart> parts,
+      std::vector<std::span<const std::uint32_t>> rows, std::int64_t d,
+      int root, StreamChoice stream = StreamChoice::kComm, int stage = -1);
+
+  /// Simulated duration of a sendv_rows moving `total_bytes` across
+  /// `messages` destinations, including the root's pack cost (a
+  /// read + write of the payload at the device's HBM bandwidth). Public so
+  /// callers choosing between dense and compacted exchange price both
+  /// paths with exactly the model the simulator will charge.
+  [[nodiscard]] double sendv_rows_seconds(std::uint64_t total_bytes,
+                                          int messages) const;
 
   /// Element-wise sum of all ranks' buffers, result visible on every rank
   /// (ring allreduce timing).

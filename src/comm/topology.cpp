@@ -61,6 +61,13 @@ double Topology::reduce_seconds(std::uint64_t bytes, int group_size) const {
          static_cast<double>(bytes) / group_bandwidth(group_size);
 }
 
+double Topology::sendv_seconds(std::uint64_t total_bytes, int messages,
+                               int group_size) const {
+  if (group_size <= 1 || messages <= 0) return 0.0;
+  return base_latency() * static_cast<double>(messages) +
+         static_cast<double>(total_bytes) / group_bandwidth(group_size);
+}
+
 double Topology::allgather_seconds(std::uint64_t total_bytes,
                                    int group_size) const {
   if (group_size <= 1 || total_bytes == 0) return 0.0;

@@ -51,6 +51,15 @@ class Topology {
   [[nodiscard]] double allgather_seconds(std::uint64_t total_bytes,
                                          int group_size) const;
 
+  /// Variable-size one-to-many exchange: the root sends `messages`
+  /// per-destination payloads totalling `total_bytes`. Alpha/beta model:
+  /// one base latency per message (each destination's payload is a
+  /// separate send) plus the actual bytes over the group bandwidth — the
+  /// compacted exchange is charged for what it really moves, unlike a
+  /// broadcast which always pays for the full block.
+  [[nodiscard]] double sendv_seconds(std::uint64_t total_bytes, int messages,
+                                     int group_size) const;
+
   /// Fixed latency of any collective call (protocol setup).
   [[nodiscard]] double base_latency() const { return 4e-6; }
 

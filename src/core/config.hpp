@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "comm/comm_mode.hpp"
+
 namespace mggcn::core {
 
 /// How the 1D cut points are chosen (§5.2 discussion + ablation).
@@ -27,6 +29,12 @@ struct TrainConfig {
   PartitionStrategy partition_strategy = PartitionStrategy::kUniform;
   /// §4.3: overlap broadcast i+1 with SpMM i using the BC2 double buffer.
   bool overlap = true;
+  /// Exchange path of the staged SpMM: dense broadcast, compacted
+  /// ghost-row sendv, or per-stage cost-model auto-selection. Defaults to
+  /// the process-wide MGGCN_COMM setting (read at config construction, so
+  /// the environment axis reaches every trainer built from a default
+  /// config). All three train bit-identically; only volume/time differ.
+  comm::CommMode comm_mode = comm::comm_mode();
   /// §4.4: run GeMM before SpMM when d(l) >= d(l+1), else SpMM first.
   bool reorder_gemm_spmm = true;
   /// When reorder_gemm_spmm is off, run every layer aggregate-first

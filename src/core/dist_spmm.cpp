@@ -12,18 +12,34 @@
 namespace mggcn::core {
 
 DistSpmm::DistSpmm(sim::Machine& machine, comm::Communicator& comm,
-                   TileGrid grid)
-    : machine_(machine), comm_(comm), grid_(std::move(grid)) {
+                   TileGrid grid, comm::CommMode mode)
+    : machine_(machine), comm_(comm), grid_(std::move(grid)), mode_(mode) {
   MGGCN_CHECK_MSG(grid_.parts() == machine_.num_devices(),
                   "tile grid parts must equal device count");
 }
 
 void DistSpmm::account_memory() {
   MGGCN_CHECK_MSG(!memory_accounted_, "memory already accounted");
+  ghost_map_bytes_.assign(static_cast<std::size_t>(parts()), 0);
   for (int r = 0; r < parts(); ++r) {
     std::uint64_t bytes = 0;
     for (int s = 0; s < parts(); ++s) bytes += grid_.tile(r, s).footprint_bytes();
     machine_.device(r).reserve_memory(bytes, "adjacency tiles");
+    if (mode_ == comm::CommMode::kDense || parts() <= 1) continue;
+    // Compact/auto exchange: each off-diagonal tile additionally holds its
+    // ghost map — the sorted required-row list plus a remapped column
+    // index per nonzero (4 bytes each). Counted with a standalone pass
+    // instead of building the plans here, so the one-time inspector tasks
+    // still land on the simulated timeline at first use.
+    std::uint64_t ghost = 0;
+    for (int s = 0; s < parts(); ++s) {
+      if (s == r) continue;
+      const sparse::Csr& tile = grid_.tile(r, s);
+      ghost += static_cast<std::uint64_t>(sparse::count_distinct_cols(tile) +
+                                          tile.nnz()) * 4;
+    }
+    ghost_map_bytes_[static_cast<std::size_t>(r)] = ghost;
+    if (ghost > 0) machine_.device(r).reserve_memory(ghost, "ghost maps");
   }
   memory_accounted_ = true;
 }
@@ -34,19 +50,40 @@ DistSpmm::~DistSpmm() {
     std::uint64_t bytes = 0;
     for (int s = 0; s < parts(); ++s) bytes += grid_.tile(r, s).footprint_bytes();
     machine_.device(r).release_memory(bytes);
+    const std::uint64_t ghost = ghost_map_bytes_[static_cast<std::size_t>(r)];
+    if (ghost > 0) machine_.device(r).release_memory(ghost);
   }
 }
 
 namespace {
 
-sim::KernelCost scaled_spmm_cost(const sparse::Csr& tile, std::int64_t d,
-                                 const DistSpmm::Io& io) {
-  sim::KernelCost cost = sparse::spmm_cost(tile, d);
+sim::KernelCost scaled_cost(sim::KernelCost cost, const DistSpmm::Io& io) {
   cost.stream_bytes *= io.traffic_factor;
   cost.gather_bytes *= io.traffic_factor;
   cost.launches = static_cast<int>(cost.launches * io.launch_multiplier + 0.5);
   return cost;
 }
+
+sim::KernelCost scaled_spmm_cost(const sparse::Csr& tile, std::int64_t d,
+                                 const DistSpmm::Io& io) {
+  return scaled_cost(sparse::spmm_cost(tile, d), io);
+}
+
+/// One stage's exchange decision, priced before the pipeline starts so the
+/// overlap contention estimate for stage s can use stage s+1's *chosen*
+/// duration.
+struct StageChoice {
+  bool compact = false;
+  /// Estimated exchange duration of the chosen path.
+  double comm_seconds = 0.0;
+  /// Payload delivered to the receivers (compact: sum of ghost rows;
+  /// dense: the full block per receiver).
+  std::uint64_t wire_bytes = 0;
+  /// What the dense broadcast would have delivered.
+  std::uint64_t dense_bytes = 0;
+  /// Non-empty per-destination payloads of the compact path.
+  int messages = 0;
+};
 
 }  // namespace
 
@@ -66,19 +103,28 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
   // SpmmPlan. Plans are resolved here on the enqueue thread (TileGrid's lazy
   // build is not thread-safe) and the one-time inspector cost is charged to
   // the owning device's compute stream the first time a tile's plan is
-  // built — every later product reuses the plan for free.
-  const bool use_plans =
+  // built — every later product reuses the plan for free. The compacted
+  // exchange also needs the plans (their ghost sets drive the packing and
+  // the per-stage dense/compact decision), so compact and auto modes
+  // resolve them under every kernel policy — but only compact-path
+  // *execution* goes through the plan then; dense-path SpMMs keep the
+  // policy-dispatched kernels.
+  const bool policy_plans =
       dense::kernel_policy() == dense::KernelPolicy::kPlanned;
+  const bool compact_capable = mode_ != comm::CommMode::kDense && p > 1;
+  const bool use_plans = policy_plans || compact_capable;
   auto resolve_plan = [&](int r, int s) -> const sparse::SpmmPlan* {
     if (!use_plans) return nullptr;
     const bool first_use = !grid_.plan_ready(r, s);
     const sparse::SpmmPlan* plan = &grid_.plan(r, s);
     if (first_use) {
+      const sparse::Csr& tile = grid_.tile(r, s);
       sim::TaskDesc inspect;
       inspect.label = "spmm_inspect";
       inspect.kind = sim::TaskKind::kInspect;
       inspect.stage = s;
-      inspect.cost = sparse::spmm_inspect_cost(grid_.tile(r, s).rows());
+      inspect.cost =
+          sparse::spmm_inspect_cost(tile.rows(), tile.nnz(), tile.cols());
       machine_.device(r).compute_stream().enqueue(std::move(inspect));
     }
     return plan;
@@ -134,6 +180,61 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     }
   }
 
+  // Exchange selection, one decision per stage, priced with exactly the
+  // models the simulator charges: a dense broadcast pays for the full
+  // block once over the topology (multicast), the compacted path pays one
+  // alpha per destination plus the actual ghost-row payload and the
+  // root-side pack (sendv_rows_seconds). `compact` forces the compacted
+  // path (deterministic volume for tests/benches); `auto` takes whichever
+  // is cheaper, so dense graphs keep their old timings to the microsecond.
+  std::vector<StageChoice> choices(np);
+  for (int s = 0; s < p; ++s) {
+    StageChoice& choice = choices[static_cast<std::size_t>(s)];
+    const std::uint64_t block_bytes =
+        static_cast<std::uint64_t>(grid_.partition.size(s) * io.d) *
+        sizeof(float);
+    choice.dense_bytes = static_cast<std::uint64_t>(p - 1) * block_bytes;
+    choice.wire_bytes = choice.dense_bytes;
+    choice.comm_seconds = comm_.topology().broadcast_seconds(block_bytes, p);
+    if (!compact_capable) continue;
+    std::uint64_t payload = 0;
+    int messages = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r == s) continue;
+      const std::int64_t ghost =
+          plans[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)]
+              ->ghost_count();
+      if (ghost == 0) continue;
+      payload += static_cast<std::uint64_t>(ghost * io.d) * sizeof(float);
+      ++messages;
+    }
+    const double compact_seconds = comm_.sendv_rows_seconds(payload, messages);
+    if (mode_ == comm::CommMode::kCompact ||
+        compact_seconds < choice.comm_seconds) {
+      choice.compact = true;
+      choice.comm_seconds = compact_seconds;
+      choice.wire_bytes = payload;
+      choice.messages = messages;
+    }
+  }
+
+  // Volume accounting happens here at enqueue time (main thread), so the
+  // counters are deterministic regardless of worker scheduling.
+  {
+    sim::CommVolume volume;
+    for (const StageChoice& choice : choices) {
+      volume.wire_bytes += choice.wire_bytes;
+      volume.dense_bytes += choice.dense_bytes;
+      volume.packs += static_cast<std::uint64_t>(choice.messages);
+      if (choice.compact) {
+        ++volume.compact_stages;
+      } else {
+        ++volume.dense_stages;
+      }
+    }
+    machine_.trace().record_comm_volume(volume);
+  }
+
   // Per rank and broadcast-slot, the SpMM event that last read that slot
   // (write-after-read hazard for the next broadcast into it). Persisted by
   // the caller across staged products because the buffers are shared.
@@ -144,8 +245,9 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
 
   for (int s = 0; s < p; ++s) {
     const int slot = io.overlap ? (s % 2) : 0;
+    const StageChoice& choice = choices[static_cast<std::size_t>(s)];
 
-    // --- broadcast of rank s's input block -------------------------------
+    // --- exchange of rank s's input block --------------------------------
     std::vector<comm::RankPart> parts_(np);
     for (int r = 0; r < p; ++r) {
       auto& part = parts_[static_cast<std::size_t>(r)];
@@ -169,16 +271,42 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
         }
       }
     }
-    const std::size_t count = static_cast<std::size_t>(
-        grid_.partition.size(s) * io.d);
-    std::vector<sim::Event> bcast = comm_.broadcast(
-        std::move(parts_), count, s, comm::StreamChoice::kComm, s);
+    std::vector<sim::Event> bcast;
+    if (choice.compact) {
+      // Compacted exchange: rank s packs, per destination, only the ghost
+      // rows that destination's tile gathers. The payloads land in the
+      // same BC1/BC2 slots the dense path uses (a ghost set never exceeds
+      // the block, so capacity and the slot write-after-read machinery are
+      // unchanged) — §4.3 overlap composes for free.
+      std::vector<std::span<const std::uint32_t>> rows(np);
+      for (int r = 0; r < p; ++r) {
+        if (r == s) continue;
+        rows[static_cast<std::size_t>(r)] =
+            plans[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)]
+                ->ghost_rows();
+      }
+      bcast = comm_.sendv_rows(std::move(parts_), std::move(rows), io.d, s,
+                               comm::StreamChoice::kComm, s);
+    } else {
+      const std::size_t count = static_cast<std::size_t>(
+          grid_.partition.size(s) * io.d);
+      bcast = comm_.broadcast(std::move(parts_), count, s,
+                              comm::StreamChoice::kComm, s);
+    }
 
     // --- per-rank SpMM with the received block ---------------------------
     for (int r = 0; r < p; ++r) {
       const auto rr = static_cast<std::size_t>(r);
       const sparse::Csr& tile = grid_.tile(r, s);
       const sparse::SpmmPlan* plan = plans[rr][static_cast<std::size_t>(s)];
+      // Compact stages index the packed payload through the plan's ghost
+      // map (the root's own block is always dense); dense-path SpMMs keep
+      // the policy-dispatched kernels, so plans resolved only for their
+      // ghost sets don't change which executor the active MGGCN_KERNELS
+      // policy runs. Either way the per-element operation sequence is the
+      // naive reference's, so every combination is bit-identical.
+      const bool compact_exec = choice.compact && r != s;
+      const sparse::SpmmPlan* dense_plan = policy_plans ? plan : nullptr;
       sim::DeviceBuffer* src =
           r == s ? io.input[rr] : (slot == 0 ? io.bc1[rr] : io.bc2[rr]);
 
@@ -186,20 +314,28 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
       task.label = "spmm";
       task.kind = sim::TaskKind::kSpMM;
       task.stage = s;
-      task.cost = scaled_spmm_cost(tile, io.d, io);
+      // A compact gather reads from just the packed ghost rows — a smaller
+      // working set, so more of the random traffic hits L2 (a real
+      // locality win of the compaction, not just fewer wire bytes).
+      task.cost =
+          compact_exec
+              ? scaled_cost(sparse::spmm_cost(tile.nnz(), tile.rows(),
+                                              plan->ghost_count(), io.d),
+                            io)
+              : scaled_spmm_cost(tile, io.d, io);
       if (io.overlap && s + 1 < p) {
-        // HBM contention is only paid while the next stage's broadcast is
+        // HBM contention is only paid while the next stage's exchange is
         // actually in flight: dilate by the expected overlap fraction
         // (the paper's ~1/6 bandwidth loss applies during that window).
+        // Uses the *chosen* exchange duration, so a compacted next stage
+        // steals less compute bandwidth.
         const double spmm_est = sim::CostModel::seconds(
             task.cost, machine_.device(r).profile());
-        const double bcast_est = comm_.topology().broadcast_seconds(
-            static_cast<std::uint64_t>(grid_.partition.size(s + 1) * io.d) *
-                sizeof(float),
-            p);
+        const double comm_est =
+            choices[static_cast<std::size_t>(s) + 1].comm_seconds;
         const double contention = 1.0 - io.compute_bandwidth_scale;
         const double fraction =
-            spmm_est > 0.0 ? std::min(1.0, bcast_est / spmm_est) : 0.0;
+            spmm_est > 0.0 ? std::min(1.0, comm_est / spmm_est) : 0.0;
         task.bandwidth_scale = 1.0 - fraction * contention;
       }
       task.waits.push_back(bcast[rr]);
@@ -212,15 +348,25 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
       float* out = io.output[rr]->data();
       const std::int64_t d = io.d;
       const float beta = s == 0 ? 0.0f : 1.0f;
-      task.body = [&tile, plan, in, out, d, beta] {
-        if (plan != nullptr) {
-          plan->execute(tile, dense::ConstMatrixView{in, tile.cols(), d},
-                        dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
-        } else {
-          sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
-                       dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
-        }
-      };
+      if (compact_exec) {
+        task.body = [&tile, plan, in, out, d, beta] {
+          plan->execute_compact(
+              tile, dense::ConstMatrixView{in, plan->ghost_count(), d},
+              dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+        };
+      } else {
+        task.body = [&tile, dense_plan, in, out, d, beta] {
+          if (dense_plan != nullptr) {
+            dense_plan->execute(tile,
+                                dense::ConstMatrixView{in, tile.cols(), d},
+                                dense::MatrixView{out, tile.rows(), d}, 1.0f,
+                                beta);
+          } else {
+            sparse::spmm(tile, dense::ConstMatrixView{in, tile.cols(), d},
+                         dense::MatrixView{out, tile.rows(), d}, 1.0f, beta);
+          }
+        };
+      }
 
       sim::Event done =
           machine_.device(r).compute_stream().enqueue(std::move(task));

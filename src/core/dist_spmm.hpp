@@ -17,8 +17,10 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
+#include "comm/comm_mode.hpp"
 #include "comm/communicator.hpp"
 #include "core/partition.hpp"
 #include "sim/device.hpp"
@@ -29,11 +31,17 @@ namespace mggcn::core {
 class DistSpmm {
  public:
   /// `grid` holds the operator's tiles: grid.tile(i, s) multiplies the
-  /// stage-s broadcast on rank i.
-  DistSpmm(sim::Machine& machine, comm::Communicator& comm, TileGrid grid);
+  /// stage-s broadcast on rank i. `mode` selects the exchange path (dense
+  /// broadcast, compacted ghost-row sendv, or per-stage cost-model
+  /// auto-selection); it defaults to the process-wide MGGCN_COMM setting.
+  DistSpmm(sim::Machine& machine, comm::Communicator& comm, TileGrid grid,
+           comm::CommMode mode = comm::comm_mode());
 
   /// Registers the tiles' CSR footprints with each device's memory
-  /// accounting (call once after construction; released on destruction).
+  /// accounting, plus — under the compact/auto exchange modes — the
+  /// ghost-map structures (per-tile required-row list + remapped column
+  /// indices) the compacted path needs on-device. Call once after
+  /// construction; released on destruction.
   void account_memory();
   ~DistSpmm();
 
@@ -85,6 +93,7 @@ class DistSpmm {
   Result run(const Io& io);
 
   [[nodiscard]] const TileGrid& grid() const { return grid_; }
+  [[nodiscard]] comm::CommMode mode() const { return mode_; }
   [[nodiscard]] const PartitionVector& partition() const {
     return grid_.partition;
   }
@@ -94,7 +103,10 @@ class DistSpmm {
   sim::Machine& machine_;
   comm::Communicator& comm_;
   TileGrid grid_;
+  comm::CommMode mode_ = comm::CommMode::kDense;
   bool memory_accounted_ = false;
+  /// Per-rank ghost-map bytes reserved by account_memory (exact release).
+  std::vector<std::uint64_t> ghost_map_bytes_;
 };
 
 }  // namespace mggcn::core

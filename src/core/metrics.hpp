@@ -30,6 +30,15 @@ struct EpochStats {
   /// Collective retries paid this epoch to absorb injected transient
   /// communication faults (0 on fault-free runs).
   int comm_retries = 0;
+
+  /// Staged-exchange communication volume this epoch (sim::CommVolume
+  /// deltas): bytes actually on the wire, bytes avoided vs all-dense
+  /// broadcasts, per-destination packs, and the per-path stage counts.
+  std::uint64_t comm_wire_bytes = 0;
+  std::uint64_t comm_bytes_saved = 0;
+  std::uint64_t comm_packs = 0;
+  int comm_compact_stages = 0;
+  int comm_dense_stages = 0;
 };
 
 }  // namespace mggcn::core

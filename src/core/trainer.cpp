@@ -115,9 +115,11 @@ void MgGcnTrainer::preprocess(const graph::Dataset& dataset) {
   const sparse::Csr a_hat_t = a_hat.transpose();       // Â^T (forward op)
 
   forward_spmm_ = std::make_unique<DistSpmm>(
-      machine_, *comm_, make_tile_grid(a_hat_t, partition_));
+      machine_, *comm_, make_tile_grid(a_hat_t, partition_),
+      config_.comm_mode);
   backward_spmm_ = std::make_unique<DistSpmm>(
-      machine_, *comm_, make_tile_grid(a_hat, partition_));
+      machine_, *comm_, make_tile_grid(a_hat, partition_),
+      config_.comm_mode);
   forward_spmm_->account_memory();
   backward_spmm_->account_memory();
 }
@@ -586,6 +588,7 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
 
 EpochStats MgGcnTrainer::train_epoch() {
   const double mark = machine_.align_clocks();
+  const sim::CommVolume volume_mark = machine_.trace().comm_volume();
   machine_.begin_epoch(epoch_);
   rank_loss_.assign(ranks_.size(), LossResult{});
 
@@ -602,6 +605,15 @@ EpochStats MgGcnTrainer::train_epoch() {
   stats.peak_memory_bytes = machine_.max_memory_peak();
   stats.comm_retries = static_cast<int>(machine_.trace().fault_count(
       sim::FaultEventKind::kCommRetry, stats.epoch));
+  const sim::CommVolume volume = machine_.trace().comm_volume();
+  stats.comm_wire_bytes = volume.wire_bytes - volume_mark.wire_bytes;
+  stats.comm_bytes_saved =
+      volume.bytes_saved() - volume_mark.bytes_saved();
+  stats.comm_packs = volume.packs - volume_mark.packs;
+  stats.comm_compact_stages =
+      static_cast<int>(volume.compact_stages - volume_mark.compact_stages);
+  stats.comm_dense_stages =
+      static_cast<int>(volume.dense_stages - volume_mark.dense_stages);
   double loss = 0.0;
   std::int64_t correct = 0;
   std::int64_t counted = 0;

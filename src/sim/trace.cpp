@@ -60,11 +60,22 @@ void Trace::record_hazard(HazardRecord rec) {
   hazard_records_.push_back(std::move(rec));
 }
 
+void Trace::record_comm_volume(const CommVolume& delta) {
+  std::lock_guard lock(mutex_);
+  comm_volume_ += delta;
+}
+
+CommVolume Trace::comm_volume() const {
+  std::lock_guard lock(mutex_);
+  return comm_volume_;
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
   fault_records_.clear();
   hazard_records_.clear();
+  comm_volume_ = CommVolume{};
 }
 
 std::vector<HazardRecord> Trace::hazard_records() const {

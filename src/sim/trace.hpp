@@ -69,6 +69,36 @@ struct HazardRecord {
   std::string later;
 };
 
+/// Aggregate communication-volume counters for the staged exchanges
+/// (core::DistSpmm records one delta per stage at enqueue time, so the
+/// counters are deterministic regardless of worker scheduling). Figures
+/// and the bench --json artifacts report these alongside the timings.
+struct CommVolume {
+  /// Bytes actually moved over the interconnect.
+  std::uint64_t wire_bytes = 0;
+  /// Bytes the same stages would have moved as full-block broadcasts.
+  std::uint64_t dense_bytes = 0;
+  /// Per-destination pack operations performed by compacted exchanges.
+  std::uint64_t packs = 0;
+  /// Stage counts by chosen exchange path.
+  std::uint64_t compact_stages = 0;
+  std::uint64_t dense_stages = 0;
+
+  /// Wire bytes avoided relative to all-dense broadcasts.
+  [[nodiscard]] std::uint64_t bytes_saved() const {
+    return dense_bytes - wire_bytes;
+  }
+
+  CommVolume& operator+=(const CommVolume& o) {
+    wire_bytes += o.wire_bytes;
+    dense_bytes += o.dense_bytes;
+    packs += o.packs;
+    compact_stages += o.compact_stages;
+    dense_stages += o.dense_stages;
+    return *this;
+  }
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -89,6 +119,8 @@ class Trace {
   void record(TraceRecord rec);
   void record_fault(FaultRecord rec);
   void record_hazard(HazardRecord rec);
+  /// Accumulates one stage's communication volume.
+  void record_comm_volume(const CommVolume& delta);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -99,6 +131,10 @@ class Trace {
   /// Hazards reported by the machine's HazardChecker, in detection order.
   [[nodiscard]] std::vector<HazardRecord> hazard_records() const;
   [[nodiscard]] std::size_t hazard_count() const;
+
+  /// Running communication-volume totals (snapshot; per-epoch figures
+  /// difference two snapshots).
+  [[nodiscard]] CommVolume comm_volume() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -127,6 +163,7 @@ class Trace {
   std::vector<TraceRecord> records_;
   std::vector<FaultRecord> fault_records_;
   std::vector<HazardRecord> hazard_records_;
+  CommVolume comm_volume_;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,

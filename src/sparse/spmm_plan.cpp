@@ -73,7 +73,43 @@ SpmmPlan SpmmPlan::inspect(const Csr& a) {
         static_cast<std::uint32_t>(r);
     if (bin != kEmpty) plan.sweep_rows_.push_back(static_cast<std::uint32_t>(r));
   }
+
+  // Ghost set: mark the touched columns, scan the mark array into the
+  // sorted distinct list (a counting sort — ascending for free), then turn
+  // the marks into ranks and remap every nonzero. O(nnz + cols).
+  const auto col_idx = a.col_idx();
+  std::vector<std::uint32_t> rank(static_cast<std::size_t>(plan.cols_), 0);
+  for (const std::uint32_t c : col_idx) rank[c] = 1;
+  std::int64_t distinct = 0;
+  for (std::int64_t c = 0; c < plan.cols_; ++c) {
+    distinct += static_cast<std::int64_t>(rank[static_cast<std::size_t>(c)]);
+  }
+  plan.required_cols_.reserve(static_cast<std::size_t>(distinct));
+  for (std::int64_t c = 0; c < plan.cols_; ++c) {
+    if (rank[static_cast<std::size_t>(c)] == 0) continue;
+    rank[static_cast<std::size_t>(c)] =
+        static_cast<std::uint32_t>(plan.required_cols_.size());
+    plan.required_cols_.push_back(static_cast<std::uint32_t>(c));
+  }
+  plan.compact_col_idx_.resize(col_idx.size());
+  for (std::size_t e = 0; e < col_idx.size(); ++e) {
+    plan.compact_col_idx_[e] = rank[col_idx[e]];
+  }
+  std::uint64_t fp = 0x9e3779b97f4a7c15ULL +
+                     static_cast<std::uint64_t>(plan.required_cols_.size());
+  for (const std::uint32_t c : plan.required_cols_) {
+    fp ^= c + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
+  }
+  plan.ghost_fingerprint_ = fp;
   return plan;
+}
+
+std::int64_t count_distinct_cols(const Csr& a) {
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(a.cols()), 0);
+  for (const std::uint32_t c : a.col_idx()) seen[c] = 1;
+  std::int64_t distinct = 0;
+  for (const std::uint8_t s : seen) distinct += s;
+  return distinct;
 }
 
 bool SpmmPlan::matches(const Csr& a) const {
@@ -165,12 +201,17 @@ void clear_spmm_plan_cache() {
   cache.misses = 0;
 }
 
-sim::KernelCost spmm_inspect_cost(std::int64_t rows) {
+sim::KernelCost spmm_inspect_cost(std::int64_t rows, std::int64_t nnz,
+                                  std::int64_t cols) {
   sim::KernelCost cost;
   // Counting pass + scatter pass over the 8-byte row pointers, one 4-byte
   // write per row into each of the two row lists (bin-sorted + sweep); no
-  // feature traffic, negligible flops.
-  cost.stream_bytes = 24.0 * static_cast<double>(rows) + 8.0;
+  // feature traffic, negligible flops. The ghost-set construction adds a
+  // mark pass + remap scatter over the 4-byte column indices and a scan
+  // over the per-column mark array.
+  cost.stream_bytes = 24.0 * static_cast<double>(rows) + 8.0 +
+                      12.0 * static_cast<double>(nnz) +
+                      5.0 * static_cast<double>(cols);
   cost.flops = 2.0 * static_cast<double>(rows);
   cost.launches = 1;
   return cost;

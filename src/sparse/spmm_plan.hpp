@@ -105,10 +105,55 @@ class SpmmPlan {
     return sweep_rows_;
   }
 
-  /// Host-side bytes the plan itself occupies (both row lists).
+  // --- Ghost set (compacted-exchange support) ---------------------------
+  // The inspector also records which columns of B the tile actually
+  // gathers: the sorted distinct column list ("ghost rows" of the source
+  // block) plus a per-nonzero remap of col_idx into positions of that
+  // list. A producer rank packs exactly ghost_rows() of its block for this
+  // consumer, and execute_compact() indexes the packed buffer through the
+  // remap — same math, ghost_count()/cols() of the communication volume.
+
+  /// Sorted distinct columns with at least one nonzero — the rows of the
+  /// source block this tile needs.
+  [[nodiscard]] std::span<const std::uint32_t> ghost_rows() const {
+    return required_cols_;
+  }
+  [[nodiscard]] std::int64_t ghost_count() const {
+    return static_cast<std::int64_t>(required_cols_.size());
+  }
+  /// Required-row density in [0, 1]: ghost_count() / cols().
+  [[nodiscard]] double ghost_density() const {
+    return cols_ > 0 ? static_cast<double>(ghost_count()) /
+                           static_cast<double>(cols_)
+                     : 0.0;
+  }
+  /// O(1) identity of the ghost set (hash of the sorted list + its size);
+  /// two tiles with equal fingerprints need the same source rows with
+  /// overwhelming probability.
+  [[nodiscard]] std::uint64_t ghost_fingerprint() const {
+    return ghost_fingerprint_;
+  }
+
+  /// The executor over a *packed* B: `b` holds only the ghost rows, in
+  /// ghost_rows() order (b.rows == ghost_count()). Bit-identical to
+  /// execute() fed the full source block — the remap changes which buffer
+  /// row an edge gathers, never the per-element operation sequence.
+  void execute_compact(const Csr& a, dense::ConstMatrixView b,
+                       dense::MatrixView c, float alpha, float beta) const;
+
+  /// Host-side bytes the plan itself occupies (row lists + ghost map).
   [[nodiscard]] std::uint64_t plan_bytes() const {
     return (static_cast<std::uint64_t>(rows_by_bin_.size()) +
-            static_cast<std::uint64_t>(sweep_rows_.size())) * 4;
+            static_cast<std::uint64_t>(sweep_rows_.size()) +
+            static_cast<std::uint64_t>(required_cols_.size()) +
+            static_cast<std::uint64_t>(compact_col_idx_.size())) * 4;
+  }
+
+  /// Bytes of the ghost-map structures alone (device-memory accounting of
+  /// the compacted exchange: the ghost list + the remapped column indices).
+  [[nodiscard]] std::uint64_t ghost_bytes() const {
+    return (static_cast<std::uint64_t>(required_cols_.size()) +
+            static_cast<std::uint64_t>(compact_col_idx_.size())) * 4;
   }
 
  private:
@@ -125,6 +170,11 @@ class SpmmPlan {
   std::vector<std::uint32_t> rows_by_bin_;
   /// Non-empty rows in natural order (the executor's sweep schedule).
   std::vector<std::uint32_t> sweep_rows_;
+  /// Sorted distinct columns (the ghost-row list) and the per-nonzero
+  /// remap of col_idx into positions of that list, in CSR edge order.
+  std::vector<std::uint32_t> required_cols_;
+  std::vector<std::uint32_t> compact_col_idx_;
+  std::uint64_t ghost_fingerprint_ = 0;
 
   [[nodiscard]] static std::uint64_t probe_row_ptr(
       std::span<const std::int64_t> row_ptr);
@@ -149,8 +199,18 @@ struct SpmmPlanCacheStats {
 void clear_spmm_plan_cache();
 
 /// Cost of the one-time inspection of a tile: a sequential sweep over the
-/// row pointers (counting pass + scatter of the sorted row list) with no
-/// feature traffic. Charged once per tile as sim::TaskKind::kInspect.
-[[nodiscard]] sim::KernelCost spmm_inspect_cost(std::int64_t rows);
+/// row pointers (counting pass + scatter of the sorted row list), plus the
+/// ghost-set construction (mark pass over col_idx, scan over the mark
+/// array, remap scatter) when `nnz`/`cols` are given. No feature traffic.
+/// Charged once per tile as sim::TaskKind::kInspect.
+[[nodiscard]] sim::KernelCost spmm_inspect_cost(std::int64_t rows,
+                                                std::int64_t nnz = 0,
+                                                std::int64_t cols = 0);
+
+/// Number of distinct column indices of `a` (the size of its ghost set),
+/// without building a plan: one O(nnz + cols) mark-and-count pass. Used by
+/// memory accounting, which must not trigger the lazy plan build (plans
+/// are charged as kInspect tasks on the simulated timeline).
+[[nodiscard]] std::int64_t count_distinct_cols(const Csr& a);
 
 }  // namespace mggcn::sparse

@@ -270,20 +270,18 @@ void run_plan(const SpmmPlan& plan, const Ctx& ctx) {
   }
 }
 
-}  // namespace
-
-void SpmmPlan::execute(const Csr& a, dense::ConstMatrixView b,
-                       dense::MatrixView c, float alpha, float beta) const {
-  MGGCN_CHECK_MSG(a.cols() == b.rows, "spmm inner dimensions must agree");
-  MGGCN_CHECK_MSG(a.rows() == c.rows && b.cols == c.cols,
-                  "spmm output shape mismatch");
-  MGGCN_CHECK_MSG(matches(a), "execution plan does not match this matrix");
-
+/// The shared panel loop of both executors; `col_idx` selects which
+/// gather map indexes B (the original CSR indices, or the plan's compact
+/// remap over a packed B). Everything downstream of the map is identical,
+/// so the two entry points are bit-identical by construction.
+void run_panels(const SpmmPlan& plan, const Csr& a,
+                const std::uint32_t* col_idx, dense::ConstMatrixView b,
+                dense::MatrixView c, float alpha, float beta) {
   const std::int64_t d = b.cols;
   Ctx ctx;
   ctx.row_ptr = a.row_ptr().data();
   ctx.nnz = a.nnz();
-  ctx.col_idx = a.col_idx().data();
+  ctx.col_idx = col_idx;
   ctx.values = a.values().data();
   ctx.b = b.data;
   ctx.ldb = d;
@@ -296,13 +294,35 @@ void SpmmPlan::execute(const Csr& a, dense::ConstMatrixView b,
     ctx.j0 = j0;
     ctx.dw = std::min(kPanelD, d - j0);
     if (beta == 0.0f) {
-      run_plan<BetaMode::kZero>(*this, ctx);
+      run_plan<BetaMode::kZero>(plan, ctx);
     } else if (beta == 1.0f) {
-      run_plan<BetaMode::kOne>(*this, ctx);
+      run_plan<BetaMode::kOne>(plan, ctx);
     } else {
-      run_plan<BetaMode::kScale>(*this, ctx);
+      run_plan<BetaMode::kScale>(plan, ctx);
     }
   }
+}
+
+}  // namespace
+
+void SpmmPlan::execute(const Csr& a, dense::ConstMatrixView b,
+                       dense::MatrixView c, float alpha, float beta) const {
+  MGGCN_CHECK_MSG(a.cols() == b.rows, "spmm inner dimensions must agree");
+  MGGCN_CHECK_MSG(a.rows() == c.rows && b.cols == c.cols,
+                  "spmm output shape mismatch");
+  MGGCN_CHECK_MSG(matches(a), "execution plan does not match this matrix");
+  run_panels(*this, a, a.col_idx().data(), b, c, alpha, beta);
+}
+
+void SpmmPlan::execute_compact(const Csr& a, dense::ConstMatrixView b,
+                               dense::MatrixView c, float alpha,
+                               float beta) const {
+  MGGCN_CHECK_MSG(b.rows == ghost_count(),
+                  "compact spmm needs one B row per ghost row");
+  MGGCN_CHECK_MSG(a.rows() == c.rows && b.cols == c.cols,
+                  "spmm output shape mismatch");
+  MGGCN_CHECK_MSG(matches(a), "execution plan does not match this matrix");
+  run_panels(*this, a, compact_col_idx_.data(), b, c, alpha, beta);
 }
 
 }  // namespace mggcn::sparse

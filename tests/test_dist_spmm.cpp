@@ -7,6 +7,7 @@
 #include <array>
 #include <tuple>
 
+#include "comm/comm_mode.hpp"
 #include "comm/communicator.hpp"
 #include "core/dist_spmm.hpp"
 #include "core/partition.hpp"
@@ -155,6 +156,9 @@ TEST(DistSpmm, OverlapReducesSimulatedTime) {
 }
 
 TEST(DistSpmm, TraceContainsAllStages) {
+  // Pin the dense exchange so the comm-record count below is exactly the
+  // broadcast schedule, independent of the MGGCN_COMM environment.
+  comm::ScopedCommMode dense_mode(comm::CommMode::kDense);
   const int gpus = 4;
   Fixture fx(gpus, 512, 8, /*overlap=*/false,
              sim::ExecutionMode::kPhantom);
@@ -225,6 +229,104 @@ TEST(DistSpmm, StragglerDelaysDependentStages) {
   for (const auto& e : result.done) {
     EXPECT_GT(e.wait(), t0 + 0.5);
   }
+}
+
+TEST(DistSpmm, CompactMatchesDenseBitwise) {
+  // The compacted exchange permutes which B rows sit in the broadcast
+  // buffer but runs the identical per-element accumulation order, so the
+  // product must be bit-identical to the dense path, overlap on and off.
+  const std::int64_t n = 331, d = 16;
+  util::Rng rng(23);
+  dense::HostMatrix x(n, d);
+  x.init_gaussian(rng);
+
+  for (const int gpus : {2, 4}) {
+    for (const bool overlap : {false, true}) {
+      std::vector<dense::HostMatrix> outs;
+      for (const comm::CommMode mode :
+           {comm::CommMode::kDense, comm::CommMode::kCompact,
+            comm::CommMode::kAuto}) {
+        comm::ScopedCommMode scoped(mode);
+        Fixture fx(gpus, n, d, overlap);
+        fx.fill_input(x);
+        fx.run();
+        outs.push_back(fx.gather_output());
+      }
+      for (std::size_t m = 1; m < outs.size(); ++m) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          for (std::int64_t j = 0; j < d; ++j) {
+            ASSERT_EQ(outs[0].at(i, j), outs[m].at(i, j))
+                << "gpus " << gpus << " overlap " << overlap << " mode "
+                << m << " element (" << i << ", " << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistSpmm, AutoIsNeverSlowerThanDense) {
+  // The auto-selector prices both paths with the same model the simulator
+  // charges, so its steady-state simulated time can match but never exceed
+  // the all-dense schedule. The first product is warm-up: auto resolves
+  // SpmmPlans for the ghost sets (a one-time inspector prologue that the
+  // dense path skips under the naive kernel policy), and training amortizes
+  // that over every later product.
+  const std::int64_t n = 4096, d = 64;
+  double dense_time = 0.0, auto_time = 0.0;
+  for (const comm::CommMode mode :
+       {comm::CommMode::kDense, comm::CommMode::kAuto}) {
+    comm::ScopedCommMode scoped(mode);
+    Fixture fx(4, n, d, /*overlap=*/false, sim::ExecutionMode::kPhantom);
+    fx.run();
+    fx.machine.synchronize();
+    const double t0 = fx.machine.align_clocks();
+    fx.run();
+    fx.machine.synchronize();
+    (mode == comm::CommMode::kDense ? dense_time : auto_time) =
+        fx.machine.sim_time() - t0;
+  }
+  EXPECT_LE(auto_time, dense_time * (1.0 + 1e-12));
+}
+
+TEST(DistSpmm, AccountMemoryChargesGhostMapsUnderCompact) {
+  // Compact/auto modes keep per-tile ghost maps on-device; dense does not.
+  // The accounting must reflect that, and releasing must be exact.
+  const std::int64_t n = 512, d = 8;
+  std::uint64_t dense_used = 0, compact_used = 0;
+  for (const comm::CommMode mode :
+       {comm::CommMode::kDense, comm::CommMode::kCompact}) {
+    comm::ScopedCommMode scoped(mode);
+    Fixture fx(4, n, d, /*overlap=*/false, sim::ExecutionMode::kPhantom);
+    const std::uint64_t before = fx.machine.device(0).memory_used();
+    fx.spmm->account_memory();
+    const std::uint64_t after = fx.machine.device(0).memory_used();
+    (mode == comm::CommMode::kDense ? dense_used : compact_used) =
+        after - before;
+    fx.spmm.reset();
+    EXPECT_EQ(fx.machine.device(0).memory_used(), before)
+        << "destruction must release exactly what was reserved";
+  }
+  EXPECT_GT(compact_used, dense_used);
+}
+
+TEST(DistSpmm, CompactRecordsWireBytesSaved) {
+  // On a sparse operator the compacted stages must put fewer bytes on the
+  // wire than the dense broadcasts they replace, and the trace counters
+  // must account for every stage exactly once.
+  comm::ScopedCommMode scoped(comm::CommMode::kCompact);
+  const int gpus = 4;
+  Fixture fx(gpus, 2048, 32, /*overlap=*/false,
+             sim::ExecutionMode::kPhantom);
+  fx.run();
+  fx.machine.synchronize();
+
+  const sim::CommVolume v = fx.machine.trace().comm_volume();
+  EXPECT_EQ(v.compact_stages + v.dense_stages, gpus);
+  EXPECT_EQ(v.compact_stages, gpus);
+  EXPECT_GT(v.packs, 0u);
+  EXPECT_LT(v.wire_bytes, v.dense_bytes);
+  EXPECT_EQ(v.bytes_saved(), v.dense_bytes - v.wire_bytes);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <array>
 #include <tuple>
 
+#include "comm/comm_mode.hpp"
 #include "comm/communicator.hpp"
 #include "core/dist_spmm.hpp"
 #include "core/dist_spmm_15d.hpp"
@@ -127,7 +128,9 @@ TEST(Spmm15D, Section51PerformanceRelationship) {
   // §5.1's conclusion, measured on the implementations rather than derived:
   // 1.5D is slower than 1D on the DGX-1 cube mesh and faster on the
   // DGX-A100 switch. §5.1's regime is bandwidth-bound, so use a wide d
-  // (broadcast volume >> launch/collective latencies).
+  // (broadcast volume >> launch/collective latencies). The arithmetic is
+  // about dense broadcast volumes, so pin that exchange path.
+  comm::ScopedCommMode dense_mode(comm::CommMode::kDense);
   const std::int64_t n = 8192, d = 4096;
   const sparse::Csr op = random_operator(n, 5);
 

@@ -242,15 +242,162 @@ TEST(SpmmPlan, DispatchedPlannedPolicyUsesCache) {
   EXPECT_EQ(sparse::spmm_plan_cache_stats().entries, 0u);
 }
 
-TEST(SpmmPlan, PlanBytesAccountsBothRowLists) {
+TEST(SpmmPlan, PlanBytesAccountsRowListsAndGhostMap) {
   const sparse::Csr a = csr_with_degrees({0, 1, 2, 3}, 8, 35);
   const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
-  // Four rows in the bin-sorted list plus the three non-empty rows of the
-  // natural-order sweep list.
-  EXPECT_EQ(plan.plan_bytes(), (4u + 3u) * sizeof(std::uint32_t));
+  // Four rows in the bin-sorted list, the three non-empty rows of the
+  // natural-order sweep list, plus the ghost map (required-column list +
+  // one remapped index per nonzero).
+  EXPECT_EQ(plan.plan_bytes(),
+            (4u + 3u + static_cast<std::uint64_t>(plan.ghost_count()) +
+             static_cast<std::uint64_t>(a.nnz())) *
+                sizeof(std::uint32_t));
+  EXPECT_EQ(plan.ghost_bytes(),
+            (static_cast<std::uint64_t>(plan.ghost_count()) +
+             static_cast<std::uint64_t>(a.nnz())) *
+                sizeof(std::uint32_t));
   EXPECT_EQ(plan.sweep_rows().size(), 3u);
   EXPECT_EQ(plan.sweep_rows()[0], 1u);
   EXPECT_EQ(plan.sweep_rows()[2], 3u);
+}
+
+// --- Ghost sets (compacted exchange) ------------------------------------
+
+/// Packs the ghost rows of `b` (in ghost_rows() order) into a compact
+/// matrix, the way the sendv_rows producer does.
+dense::HostMatrix pack_ghost_rows(const sparse::SpmmPlan& plan,
+                                  const dense::HostMatrix& b) {
+  dense::HostMatrix packed(plan.ghost_count(), b.cols());
+  const auto ghosts = plan.ghost_rows();
+  for (std::size_t i = 0; i < ghosts.size(); ++i) {
+    std::memcpy(packed.data() + static_cast<std::int64_t>(i) * b.cols(),
+                b.data() + static_cast<std::int64_t>(ghosts[i]) * b.cols(),
+                static_cast<std::size_t>(b.cols()) * sizeof(float));
+  }
+  return packed;
+}
+
+TEST(SpmmPlan, GhostSetIsSortedDistinctAndRemapRoundTrips) {
+  const sparse::Csr a = csr_with_degrees({0, 3, 1, 0, 17, 5}, 40, 36);
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+  const auto ghosts = plan.ghost_rows();
+  ASSERT_GT(plan.ghost_count(), 0);
+  ASSERT_LE(plan.ghost_count(), std::min(a.nnz(), a.cols()));
+  for (std::size_t i = 0; i + 1 < ghosts.size(); ++i) {
+    EXPECT_LT(ghosts[i], ghosts[i + 1]);  // sorted, no duplicates
+  }
+  // Every ghost entry is an actually-used column, and the per-nonzero
+  // remap maps each edge back to its original column.
+  const dense::HostMatrix b = random_matrix(a.cols(), 4, 37);
+  const dense::HostMatrix packed = pack_ghost_rows(plan, b);
+  dense::HostMatrix c_dense(a.rows(), 4), c_compact(a.rows(), 4);
+  plan.execute(a, b.view(), c_dense.view(), 1.0f, 0.0f);
+  plan.execute_compact(a, packed.view(), c_compact.view(), 1.0f, 0.0f);
+  expect_bitwise_equal(c_dense, c_compact, "remap round trip");
+}
+
+TEST(SpmmPlan, GhostSetEmptyTile) {
+  // An all-empty tile needs nothing from its source block: the compact
+  // executor runs with a zero-row B and must still apply beta.
+  sparse::Csr a(5, 7, {0, 0, 0, 0, 0, 0}, {}, {});
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+  EXPECT_EQ(plan.ghost_count(), 0);
+  EXPECT_EQ(plan.ghost_bytes(), 0u);
+  dense::HostMatrix empty_b(0, 3);
+  dense::HostMatrix c(5, 3);
+  c.fill(6.0f);
+  plan.execute_compact(a, empty_b.view(), c.view(), 1.0f, 0.5f);
+  for (std::int64_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 3.0f);
+  plan.execute_compact(a, empty_b.view(), c.view(), 1.0f, 0.0f);
+  for (std::int64_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0f);
+}
+
+TEST(SpmmPlan, GhostSetFullDensityTile) {
+  // Every column used: the ghost set is the identity and the packed input
+  // equals the dense input, so compaction saves nothing but stays correct.
+  const std::int64_t cols = 6;
+  std::vector<std::int64_t> row_ptr{0};
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      col_idx.push_back(static_cast<std::uint32_t>(c));
+      values.push_back(static_cast<float>(r * cols + c) * 0.25f - 1.0f);
+    }
+    row_ptr.push_back(static_cast<std::int64_t>(col_idx.size()));
+  }
+  const sparse::Csr a(3, cols, std::move(row_ptr), std::move(col_idx),
+                      std::move(values));
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+  ASSERT_EQ(plan.ghost_count(), cols);
+  EXPECT_DOUBLE_EQ(plan.ghost_density(), 1.0);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    EXPECT_EQ(plan.ghost_rows()[static_cast<std::size_t>(c)],
+              static_cast<std::uint32_t>(c));
+  }
+  const dense::HostMatrix b = random_matrix(cols, 9, 38);
+  dense::HostMatrix c_dense(3, 9), c_compact(3, 9);
+  plan.execute(a, b.view(), c_dense.view(), 1.0f, 0.0f);
+  plan.execute_compact(a, b.view(), c_compact.view(), 1.0f, 0.0f);
+  expect_bitwise_equal(c_dense, c_compact, "full-density tile");
+}
+
+TEST(SpmmPlan, GhostSetSingleRowTile) {
+  const sparse::Csr a = csr_with_degrees({5}, 50, 39);
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+  ASSERT_GT(plan.ghost_count(), 0);
+  ASSERT_LE(plan.ghost_count(), 5);
+  const dense::HostMatrix b = random_matrix(50, 13, 40);
+  const dense::HostMatrix packed = pack_ghost_rows(plan, b);
+  for (const float beta : {0.0f, 1.0f, 0.5f}) {
+    dense::HostMatrix c_dense = random_matrix(1, 13, 41);
+    dense::HostMatrix c_compact = c_dense;
+    plan.execute(a, b.view(), c_dense.view(), 1.0f, beta);
+    plan.execute_compact(a, packed.view(), c_compact.view(), 1.0f, beta);
+    expect_bitwise_equal(c_dense, c_compact,
+                         "single-row beta=" + std::to_string(beta));
+  }
+}
+
+TEST(SpmmPlan, ExecuteCompactBitIdenticalAcrossBinsAndBetas) {
+  std::vector<std::int64_t> degrees;
+  for (const std::int64_t deg : {0, 1, 2, 3, 7, 8, 255, 256, 600}) {
+    degrees.push_back(deg);
+    degrees.push_back(deg);
+  }
+  const sparse::Csr a = csr_with_degrees(degrees, 4096, 42);
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::inspect(a);
+  ASSERT_LT(plan.ghost_count(), a.cols());  // actually compacts something
+  const dense::HostMatrix b = random_matrix(4096, 33, 43);
+  const dense::HostMatrix packed = pack_ghost_rows(plan, b);
+  for (const float beta : {0.0f, 1.0f, 0.5f}) {
+    dense::HostMatrix c_dense = random_matrix(a.rows(), 33, 44);
+    dense::HostMatrix c_compact = c_dense;
+    plan.execute(a, b.view(), c_dense.view(), 1.0f, beta);
+    plan.execute_compact(a, packed.view(), c_compact.view(), 1.0f, beta);
+    expect_bitwise_equal(c_dense, c_compact,
+                         "beta=" + std::to_string(beta));
+  }
+  // Shape misuse fails loudly: a full-width B is not a packed input.
+  dense::HostMatrix c(a.rows(), 33);
+  EXPECT_THROW(plan.execute_compact(a, b.view(), c.view(), 1.0f, 0.0f),
+               InvalidArgumentError);
+}
+
+TEST(SpmmPlan, GhostFingerprintTracksRequiredSet) {
+  const sparse::Csr a = csr_with_degrees({4, 9, 0, 2}, 64, 45);
+  const sparse::SpmmPlan plan_a = sparse::SpmmPlan::inspect(a);
+  const sparse::SpmmPlan plan_a2 = sparse::SpmmPlan::inspect(a);
+  EXPECT_EQ(plan_a.ghost_fingerprint(), plan_a2.ghost_fingerprint());
+
+  const sparse::Csr other = csr_with_degrees({4, 9, 0, 2}, 64, 46);
+  const sparse::SpmmPlan plan_other = sparse::SpmmPlan::inspect(other);
+  ASSERT_NE(plan_a.ghost_rows().size(), 0u);
+  // Different column draws → different required sets → different prints.
+  EXPECT_NE(plan_a.ghost_fingerprint(), plan_other.ghost_fingerprint());
+
+  EXPECT_EQ(sparse::count_distinct_cols(a), plan_a.ghost_count());
+  EXPECT_EQ(sparse::count_distinct_cols(other), plan_other.ghost_count());
 }
 
 }  // namespace
