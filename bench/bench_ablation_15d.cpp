@@ -88,7 +88,7 @@ Measured time_15d(const sim::MachineProfile& profile, const sparse::Csr& op,
   core::DistSpmm15D::Io io;
   for (auto& b : input) io.input.push_back(&b);
   for (auto& b : output) io.output.push_back(&b);
-  for (auto& b : bc) io.bc.push_back(&b);
+  for (auto& b : bc) io.bc1.push_back(&b);
   io.d = d;
   const double t0 = machine.align_clocks();
   spmm.run(io);

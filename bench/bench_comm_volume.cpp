@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
           config.hidden_dims = {d};
           config.permute = permute;
           config.comm_mode = mode;
+          // The dense/compact comparison is about the 1D staged exchange;
+          // pin the strategy so the auto-planner cannot reroute products.
+          config.plan_mode = core::PlanMode::k1D;
           const bench::EpochResult r = bench::run_epoch(
               bench::System::kMgGcn, profile, gpus, ds, config);
           if (mode == comm::CommMode::kDense) dense_seconds = r.seconds;

@@ -109,6 +109,11 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
     result.comm_packs = stats.comm_packs;
     result.comm_compact_stages = stats.comm_compact_stages;
     result.comm_dense_stages = stats.comm_dense_stages;
+    result.plan_products_1d = stats.plan_products_1d;
+    result.plan_products_15d = stats.plan_products_15d;
+    result.plan_products_replicated = stats.plan_products_replicated;
+    result.plan_decisions = stats.plan_decisions;
+    result.plan_fallbacks = stats.plan_fallbacks;
   } catch (const OutOfMemoryError&) {
     result.oom = true;
   }
@@ -203,6 +208,16 @@ std::string comm_json_fragment(const EpochResult& result) {
      << ", \"packs\": " << result.comm_packs
      << ", \"compact_stages\": " << result.comm_compact_stages
      << ", \"dense_stages\": " << result.comm_dense_stages << "}";
+  return os.str();
+}
+
+std::string plan_json_fragment(const EpochResult& result) {
+  std::ostringstream os;
+  os << "\"plan_counters\": {\"products_1d\": " << result.plan_products_1d
+     << ", \"products_15d\": " << result.plan_products_15d
+     << ", \"products_replicated\": " << result.plan_products_replicated
+     << ", \"decisions\": " << result.plan_decisions
+     << ", \"fallbacks\": " << result.plan_fallbacks << "}";
   return os.str();
 }
 

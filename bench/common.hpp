@@ -55,6 +55,14 @@ struct EpochResult {
   std::uint64_t comm_packs = 0;
   int comm_compact_stages = 0;
   int comm_dense_stages = 0;
+  /// Planner decision counters (replica counts; scale-invariant): products
+  /// routed per strategy, distinct (d, overlap) decisions priced, and
+  /// infeasible choices that fell back to 1d.
+  int plan_products_1d = 0;
+  int plan_products_15d = 0;
+  int plan_products_replicated = 0;
+  int plan_decisions = 0;
+  int plan_fallbacks = 0;
 };
 
 /// Builds a phantom-mode machine + the requested system and measures one
@@ -72,6 +80,10 @@ std::string cell_seconds(const EpochResult& result);
 /// The epoch's exchange-path counters as a JSON object fragment
 /// (`"comm": {...}`), for splicing into a bench's --json rows.
 std::string comm_json_fragment(const EpochResult& result);
+
+/// The epoch's planner counters as a JSON object fragment
+/// (`"plan_counters": {...}`), for splicing into a bench's --json rows.
+std::string plan_json_fragment(const EpochResult& result);
 
 /// Isolated one-shot distributed SpMM for the timeline figures (6 and 8):
 /// partitions the dataset's normalized adjacency transpose, allocates the

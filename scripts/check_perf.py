@@ -37,12 +37,25 @@ and enforces three properties:
    auto-over-dense speedup is also checked against it with the
    ``--max-regression`` allowance.
 
+5. **Planner gate** (``--plan <json>``, from ``bench_planner --json``):
+   for every (machine, gpus, n, degree, d) group, ``auto`` must be at
+   least ``--plan-min-speedup`` (default ~1.0) times as fast as EVERY
+   fixed strategy (1d / 15d / replicated) — the cost-model argmin must
+   never lose to a strategy it could have chosen — and at least one
+   group must exist where auto routes products to a non-1d executor and
+   beats forced ``1d`` by ``--plan-win-speedup`` (default 1.15x): the
+   mixture-of-parallelism payoff regimes the planner targets. When the
+   committed baseline has a ``plan`` section, each group's auto-over-1d
+   speedup is also checked against it with the ``--max-regression``
+   allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
 and ``--benchmark_repetitions=5``; this script prefers the ``median``
 aggregate over per-iteration rows when repetitions are present. Check 4
-runs in phantom mode, which is deterministic, so its ratios are exact.
+runs in phantom mode, which is deterministic, so its ratios are exact;
+so does check 5.
 
 Refresh the baseline after an intentional perf change with::
 
@@ -229,6 +242,88 @@ def check_comm(rows: list[dict], min_everywhere: float, gate_gpus: int,
     return failures, report, speedups
 
 
+def load_plan_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "planner":
+        raise ValueError(f"{path} is not a bench_planner JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return [row for row in doc.get("rows", []) if not row.get("oom")]
+
+
+def plan_groups(rows: list[dict]) -> dict[tuple, dict[str, dict]]:
+    """(machine, gpus, n, avg_degree, d) -> plan mode -> row."""
+    groups: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        key = (row["machine"], row["gpus"], row["n"], row["avg_degree"],
+               row["d"])
+        groups.setdefault(key, {})[row["plan"]] = row
+    return groups
+
+
+def check_plan(rows: list[dict], min_vs_fixed: float, win_speedup: float
+               ) -> tuple[list[str], list[str], dict[str, float]]:
+    """The auto-vs-fixed-strategy planner gate over bench_planner rows."""
+    failures, report = [], []
+    speedups: dict[str, float] = {}
+    non_1d_wins = 0
+    for key, modes in sorted(plan_groups(rows).items()):
+        machine, gpus, n, degree, d = key
+        auto = modes.get("auto")
+        if auto is None or auto["epoch_seconds"] <= 0:
+            continue
+        name = f"{machine}/gpus:{gpus}/n:{n}/deg:{degree}/d:{d}"
+        fixed = {mode: row for mode, row in modes.items()
+                 if mode != "auto" and row["epoch_seconds"] > 0}
+        for mode, row in sorted(fixed.items()):
+            ratio = row["epoch_seconds"] / auto["epoch_seconds"]
+            if ratio < min_vs_fixed:
+                failures.append(
+                    f"plan: auto slower than forced {mode} on {name}: "
+                    f"{ratio:.3f}x (required >= {min_vs_fixed:.3f}x against "
+                    f"every fixed strategy)")
+        if "1d" in fixed:
+            vs_1d = fixed["1d"]["epoch_seconds"] / auto["epoch_seconds"]
+            speedups[name] = vs_1d
+            plan = auto.get("plan_counters", {})
+            routed = (plan.get("products_15d", 0) +
+                      plan.get("products_replicated", 0))
+            report.append(
+                f"plan {name}: auto {vs_1d:.2f}x over 1d "
+                f"(products 1d/15d/rep = {plan.get('products_1d', 0)}/"
+                f"{plan.get('products_15d', 0)}/"
+                f"{plan.get('products_replicated', 0)})")
+            if routed > 0 and vs_1d >= win_speedup:
+                non_1d_wins += 1
+    if not speedups:
+        failures.append("plan gate: no (auto, 1d) row pairs found; the "
+                        "planner gate did not run")
+    elif non_1d_wins == 0:
+        failures.append(
+            f"plan gate: no config where auto routes products off the 1d "
+            f"path and beats forced 1d by {win_speedup:.2f}x; the "
+            f"mixture-of-parallelism payoff regimes are gone")
+    return failures, report, speedups
+
+
+def check_plan_baseline(speedups: dict[str, float],
+                        baseline: dict[str, float],
+                        max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in speedups:
+            print(f"warning: baseline plan config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if speedups[name] < floor:
+            failures.append(
+                f"plan regression: {name}: auto is {speedups[name]:.2f}x "
+                f"over 1d < {floor:.2f}x (baseline {base:.2f}x, allowed "
+                f"-{max_regression:.0%})")
+    return failures
+
+
 def check_comm_baseline(speedups: dict[str, float],
                         baseline: dict[str, float],
                         max_regression: float) -> list[str]:
@@ -283,14 +378,22 @@ def main() -> int:
     parser.add_argument("--comm-gate-speedup", type=float, default=1.2,
                         help="auto-over-dense ratio required on the gate "
                         "rows (default: %(default)s)")
+    parser.add_argument("--plan", type=Path, default=None,
+                        help="bench_planner JSON to gate (check 5)")
+    parser.add_argument("--plan-min-speedup", type=float, default=0.999,
+                        help="auto-over-fixed epoch ratio required against "
+                        "every fixed strategy (default: %(default)s)")
+    parser.add_argument("--plan-win-speedup", type=float, default=1.15,
+                        help="auto-over-1d ratio at least one non-1d-routed "
+                        "config must reach (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
     args = parser.parse_args()
 
-    if args.current is None and args.comm is None:
-        print("error: pass a bench_kernels JSON, --comm <json>, or both",
-              file=sys.stderr)
+    if args.current is None and args.comm is None and args.plan is None:
+        print("error: pass a bench_kernels JSON, --comm <json>, "
+              "--plan <json>, or a combination", file=sys.stderr)
         return 1
 
     current: dict[str, float] = {}
@@ -303,6 +406,8 @@ def main() -> int:
 
     comm_rows = load_comm_rows(args.comm) if args.comm is not None else None
     comm_speedups: dict[str, float] = {}
+    plan_rows = load_plan_rows(args.plan) if args.plan is not None else None
+    plan_speedups: dict[str, float] = {}
 
     if args.update:
         payload = {}
@@ -322,9 +427,15 @@ def main() -> int:
                 args.comm_gate_max_degree, args.comm_gate_speedup)
             payload["comm_volume"] = {
                 k: comm_speedups[k] for k in sorted(comm_speedups)}
+        if plan_rows is not None:
+            _, _, plan_speedups = check_plan(
+                plan_rows, args.plan_min_speedup, args.plan_win_speedup)
+            payload["plan"] = {
+                k: plan_speedups[k] for k in sorted(plan_speedups)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(current)} "
-              f"benchmarks, {len(comm_speedups)} comm configs)")
+              f"benchmarks, {len(comm_speedups)} comm configs, "
+              f"{len(plan_speedups)} plan configs)")
         return 0
 
     failures: list[str] = []
@@ -359,7 +470,17 @@ def main() -> int:
             failures += check_comm_baseline(comm_speedups,
                                             baseline_doc["comm_volume"],
                                             args.max_regression)
-    for line in report + planned_report + comm_report:
+
+    plan_report: list[str] = []
+    if plan_rows is not None:
+        plan_failures, plan_report, plan_speedups = check_plan(
+            plan_rows, args.plan_min_speedup, args.plan_win_speedup)
+        failures += plan_failures
+        if "plan" in baseline_doc:
+            failures += check_plan_baseline(plan_speedups,
+                                            baseline_doc["plan"],
+                                            args.max_regression)
+    for line in report + planned_report + comm_report + plan_report:
         print(line)
 
     if failures:
@@ -368,7 +489,8 @@ def main() -> int:
             print(f"  FAIL: {f}", file=sys.stderr)
         return 1
     print(f"check_perf: OK ({len(current)} benchmarks, "
-          f"{len(comm_speedups)} comm configs checked)")
+          f"{len(comm_speedups)} comm configs, "
+          f"{len(plan_speedups)} plan configs checked)")
     return 0
 
 

@@ -63,6 +63,10 @@ class Communicator {
 
   [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
   [[nodiscard]] const Topology& topology() const { return topology_; }
+  /// The options collectives are charged with (duration_scale etc.) —
+  /// public so strategy planners can price with exactly what launch()
+  /// will charge.
+  [[nodiscard]] const CommOptions& options() const { return options_; }
 
   /// Broadcast `count` floats from parts[root].buffer into every rank's
   /// buffer. Returns one completion event per rank, in rank order.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "comm/comm_mode.hpp"
+#include "core/plan_mode.hpp"
 
 namespace mggcn::core {
 
@@ -35,6 +36,12 @@ struct TrainConfig {
   /// the environment axis reaches every trainer built from a default
   /// config). All three train bit-identically; only volume/time differ.
   comm::CommMode comm_mode = comm::comm_mode();
+  /// Distribution strategy of the distributed products: forced 1d / 15d /
+  /// replicated, or per-layer cost-model auto-selection (core::Planner).
+  /// Defaults to the process-wide MGGCN_PLAN setting (read at config
+  /// construction). All four train bit-identically; only time, volume and
+  /// memory differ.
+  PlanMode plan_mode = core::plan_mode();
   /// §4.4: run GeMM before SpMM when d(l) >= d(l+1), else SpMM first.
   bool reorder_gemm_spmm = true;
   /// When reorder_gemm_spmm is off, run every layer aggregate-first

@@ -22,13 +22,14 @@
 
 #include "comm/comm_mode.hpp"
 #include "comm/communicator.hpp"
+#include "core/dist_executor.hpp"
 #include "core/partition.hpp"
 #include "sim/device.hpp"
 #include "sim/machine.hpp"
 
 namespace mggcn::core {
 
-class DistSpmm {
+class DistSpmm : public DistExecutor {
  public:
   /// `grid` holds the operator's tiles: grid.tile(i, s) multiplies the
   /// stage-s broadcast on rank i. `mode` selects the exchange path (dense
@@ -43,54 +44,18 @@ class DistSpmm {
   /// indices) the compacted path needs on-device. Call once after
   /// construction; released on destruction.
   void account_memory();
-  ~DistSpmm();
+  ~DistSpmm() override;
 
   DistSpmm(const DistSpmm&) = delete;
   DistSpmm& operator=(const DistSpmm&) = delete;
 
-  struct Io {
-    /// Per-rank dense input blocks (part_size(r) x d each).
-    std::vector<sim::DeviceBuffer*> input;
-    /// Per-rank outputs (part_size(r) x d); overwritten (beta = 0).
-    std::vector<sim::DeviceBuffer*> output;
-    /// Per-rank broadcast buffers (max_part_size x d capacity).
-    std::vector<sim::DeviceBuffer*> bc1;
-    /// Second broadcast buffer; required iff overlap.
-    std::vector<sim::DeviceBuffer*> bc2;
-    /// Dense width.
-    std::int64_t d = 0;
-    /// Per-rank events that must complete before that rank's input block
-    /// may be read (i.e. before its broadcast stage).
-    std::vector<sim::Event> input_ready;
-
-    bool overlap = false;
-    /// HBM bandwidth share for SpMM kernels while overlapped. The matching
-    /// comm-side dilation is configured on the Communicator
-    /// (CommOptions::duration_scale).
-    double compute_bandwidth_scale = 1.0;
-    /// Baseline-emulation: multiplies SpMM memory traffic and the kernel
-    /// launch count (see TrainConfig).
-    double traffic_factor = 1.0;
-    double launch_multiplier = 1.0;
-
-    /// Per-rank, per-slot events of the last SpMM that READ each broadcast
-    /// buffer ([rank][0] = BC1, [rank][1] = BC2). The buffers outlive any
-    /// single staged product (they are shared across layers and between the
-    /// forward and backward operators, §4.2), so this write-after-read
-    /// hazard state must too: it is owned by the caller and updated here.
-    std::vector<std::array<sim::Event, 2>>* slot_readers = nullptr;
-  };
-
-  struct Result {
-    /// Per-rank completion of the rank's output block.
-    std::vector<sim::Event> done;
-    /// Per-rank release of the rank's *input* block (its broadcast has been
-    /// consumed; the buffer may be overwritten).
-    std::vector<sim::Event> input_released;
-  };
+  /// The shared executor contract (core/dist_executor.hpp). The aliases
+  /// keep the established DistSpmm::Io / DistSpmm::Result spellings.
+  using Io = DistIo;
+  using Result = DistResult;
 
   /// Enqueues the whole staged product; returns immediately.
-  Result run(const Io& io);
+  Result run(const Io& io) override;
 
   [[nodiscard]] const TileGrid& grid() const { return grid_; }
   [[nodiscard]] comm::CommMode mode() const { return mode_; }

@@ -39,6 +39,15 @@ struct EpochStats {
   std::uint64_t comm_packs = 0;
   int comm_compact_stages = 0;
   int comm_dense_stages = 0;
+
+  /// Planner strategy-selection counters this epoch (sim::PlanCounters
+  /// deltas): distributed products executed per strategy, fresh auto-mode
+  /// pricings, and infeasible-choice fallbacks onto 1d.
+  int plan_products_1d = 0;
+  int plan_products_15d = 0;
+  int plan_products_replicated = 0;
+  int plan_decisions = 0;
+  int plan_fallbacks = 0;
 };
 
 }  // namespace mggcn::core

@@ -1,0 +1,59 @@
+#include "core/plan_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+namespace {
+
+PlanMode mode_from_env() {
+  const char* env = std::getenv("MGGCN_PLAN");
+  if (env == nullptr || *env == '\0') return PlanMode::kAuto;
+  const auto parsed = parse_plan_mode(env);
+  MGGCN_CHECK_MSG(parsed.has_value(),
+                  std::string("MGGCN_PLAN must be '1d', '15d', 'replicated', "
+                              "or 'auto', got '") +
+                      env + "'");
+  return *parsed;
+}
+
+std::atomic<PlanMode>& active_mode() {
+  static std::atomic<PlanMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+const char* plan_mode_name(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::k1D:
+      return "1d";
+    case PlanMode::k15D:
+      return "15d";
+    case PlanMode::kReplicated:
+      return "replicated";
+    case PlanMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<PlanMode> parse_plan_mode(std::string_view name) {
+  if (name == "1d") return PlanMode::k1D;
+  if (name == "15d") return PlanMode::k15D;
+  if (name == "replicated") return PlanMode::kReplicated;
+  if (name == "auto") return PlanMode::kAuto;
+  return std::nullopt;
+}
+
+PlanMode plan_mode() { return active_mode().load(std::memory_order_relaxed); }
+
+void set_plan_mode(PlanMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::core

@@ -1,0 +1,480 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "dense/matrix.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+#include "sparse/spmm.hpp"
+#include "sparse/spmm_plan.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+sim::KernelCost scaled(sim::KernelCost cost, double traffic_factor,
+                       double launch_multiplier) {
+  cost.stream_bytes *= traffic_factor;
+  cost.gather_bytes *= traffic_factor;
+  cost.launches = static_cast<int>(cost.launches * launch_multiplier + 0.5);
+  return cost;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplicatedSpmm
+// ---------------------------------------------------------------------------
+
+ReplicatedSpmm::ReplicatedSpmm(sim::Machine& machine,
+                               comm::Communicator& comm, const TileGrid& grid)
+    : machine_(machine), comm_(comm), grid_(grid) {
+  MGGCN_CHECK_MSG(grid_.parts() == machine_.num_devices(),
+                  "tile grid parts must equal device count");
+  MGGCN_CHECK_MSG(grid_.parts() > 1,
+                  "replicated executor is for multi-device products");
+  replica_.resize(static_cast<std::size_t>(grid_.parts()));
+  replica_last_use_.resize(static_cast<std::size_t>(grid_.parts()));
+}
+
+std::uint64_t ReplicatedSpmm::extra_bytes(int rank, std::int64_t d) const {
+  (void)rank;  // every rank holds the same n x d replica
+  if (d <= replica_width_) return 0;
+  // Net growth: the realloc releases the old replica first.
+  return static_cast<std::uint64_t>(grid_.partition.total() *
+                                    (d - replica_width_)) *
+         sizeof(float);
+}
+
+void ReplicatedSpmm::ensure_replicas(std::int64_t d) {
+  if (d <= replica_width_) return;
+  // Growing reallocates the replicas; drain in-flight products first so no
+  // enqueued task still references the old storage.
+  machine_.synchronize();
+  const std::int64_t n = grid_.partition.total();
+  for (int r = 0; r < grid_.parts(); ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    replica_[rr].reset();
+    replica_[rr] = std::make_unique<sim::DeviceBuffer>(
+        machine_.device(r), static_cast<std::size_t>(n * d), "replica");
+    replica_last_use_[rr] = sim::Event{};
+  }
+  replica_width_ = d;
+}
+
+DistResult ReplicatedSpmm::run(const DistIo& io) {
+  const int p = grid_.parts();
+  const auto np = static_cast<std::size_t>(p);
+  MGGCN_CHECK(io.input.size() == np && io.output.size() == np);
+  MGGCN_CHECK(io.input_ready.empty() || io.input_ready.size() == np);
+
+  ensure_replicas(io.d);
+  const PartitionVector& part = grid_.partition;
+  const std::int64_t n = part.total();
+
+  // One allgather delivers what p-1 dense broadcasts would have; there is
+  // nothing to compact, so wire == dense.
+  {
+    sim::CommVolume volume;
+    volume.wire_bytes =
+        static_cast<std::uint64_t>(p - 1) *
+        static_cast<std::uint64_t>(n * io.d) * sizeof(float);
+    volume.dense_bytes = volume.wire_bytes;
+    volume.dense_stages = 1;
+    machine_.trace().record_comm_volume(volume);
+  }
+
+  DistResult result;
+  result.done.resize(np);
+  result.input_released.resize(np);
+
+  // Stage each rank's block at the HEAD of its replica buffer (the
+  // allgather contract), then gather the rank-order concatenation.
+  std::vector<comm::RankPart> parts(np);
+  std::vector<std::size_t> counts(np);
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    const std::size_t elems = static_cast<std::size_t>(part.size(r) * io.d);
+
+    sim::TaskDesc task;
+    task.label = "replica_pack";
+    task.kind = sim::TaskKind::kMemory;
+    task.cost.stream_bytes =
+        2.0 * static_cast<double>(elems) * sizeof(float);
+    if (!io.input_ready.empty() && io.input_ready[rr].valid()) {
+      task.waits.push_back(io.input_ready[rr]);
+    }
+    if (replica_last_use_[rr].valid()) {
+      task.waits.push_back(replica_last_use_[rr]);
+    }
+    task.reads.push_back(io.input[rr]->access());
+    task.writes.push_back(replica_[rr]->access());
+    float* src = io.input[rr]->data();
+    float* dst = replica_[rr]->data();
+    task.body = [src, dst, elems] {
+      if (src != nullptr && dst != nullptr) {
+        std::memcpy(dst, src, elems * sizeof(float));
+      }
+    };
+    sim::Event copied =
+        machine_.device(r).compute_stream().enqueue(std::move(task));
+    result.input_released[rr] = copied;
+
+    parts[rr].buffer = replica_[rr].get();
+    parts[rr].waits.push_back(copied);
+    counts[rr] = elems;
+  }
+  std::vector<sim::Event> gathered = comm_.allgather(std::move(parts), counts);
+
+  // One fused SpMM per rank: sweep the stage tiles left to right against
+  // the replica segments — the same ascending-stage accumulation order as
+  // the staged broadcast, in a single launch whose gather working set is
+  // the whole replica.
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    sim::KernelCost cost;
+    for (int s = 0; s < p; ++s) {
+      cost += sparse::spmm_cost(grid_.tile(r, s), io.d);
+    }
+    cost.launches = 1;  // operator+= summed the per-tile launch counts
+    cost.gather_working_set =
+        4.0 * static_cast<double>(n) * static_cast<double>(io.d);
+
+    sim::TaskDesc task;
+    task.label = "spmm_replicated";
+    task.kind = sim::TaskKind::kSpMM;
+    task.cost = scaled(cost, io.traffic_factor, io.launch_multiplier);
+    task.waits.push_back(gathered[rr]);
+    task.reads.push_back(replica_[rr]->access());
+    task.writes.push_back(io.output[rr]->access());
+
+    const TileGrid& grid = grid_;
+    float* in = replica_[rr]->data();
+    float* out = io.output[rr]->data();
+    const std::int64_t d = io.d;
+    task.body = [&grid, r, in, out, d] {
+      for (int s = 0; s < grid.parts(); ++s) {
+        const sparse::Csr& tile = grid.tile(r, s);
+        sparse::spmm(
+            tile,
+            dense::ConstMatrixView{in + grid.partition.begin(s) * d,
+                                   tile.cols(), d},
+            dense::MatrixView{out, tile.rows(), d}, 1.0f,
+            s == 0 ? 0.0f : 1.0f);
+      }
+    };
+    sim::Event done =
+        machine_.device(r).compute_stream().enqueue(std::move(task));
+    result.done[rr] = done;
+    replica_last_use_[rr] = done;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+Planner::Planner(sim::Machine& machine, comm::Communicator& comm,
+                 TileGrid grid, PlanMode mode, comm::CommMode comm_mode)
+    : machine_(machine),
+      comm_(comm),
+      mode_(mode),
+      comm_mode_(comm_mode),
+      spmm_1d_(machine, comm, std::move(grid), comm_mode) {
+  const int p = parts();
+  if (DistSpmm15DChained::feasible(p)) {
+    exec_15d_ = std::make_unique<DistSpmm15DChained>(
+        machine_, spmm_1d_.grid(), comm_.options());
+  }
+  if (p > 1) {
+    exec_replicated_ = std::make_unique<ReplicatedSpmm>(machine_, comm_,
+                                                        spmm_1d_.grid());
+  }
+  ghost_cols_.assign(static_cast<std::size_t>(p),
+                     std::vector<std::int64_t>(static_cast<std::size_t>(p),
+                                               -1));
+}
+
+std::int64_t Planner::ghost_cols(int r, int s) const {
+  std::int64_t& cached =
+      ghost_cols_[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)];
+  if (cached < 0) cached = sparse::count_distinct_cols(grid().tile(r, s));
+  return cached;
+}
+
+bool Planner::fits(PlanMode strategy, std::int64_t d) const {
+  for (int r = 0; r < parts(); ++r) {
+    const sim::Device& device = machine_.device(r);
+    const std::uint64_t extra =
+        strategy == PlanMode::k15D ? exec_15d_->extra_bytes(r, d)
+                                   : exec_replicated_->extra_bytes(r, d);
+    if (device.memory_used() + extra > device.profile().memory_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Planner::est_1d(std::int64_t d, bool overlap,
+                       double compute_bandwidth_scale, double traffic_factor,
+                       double launch_multiplier) const {
+  const int p = parts();
+  const sim::DeviceProfile& dev = machine_.device(0).profile();
+  if (p == 1) {
+    return sim::CostModel::seconds(
+        scaled(sparse::spmm_cost(grid().tile(0, 0), d), traffic_factor,
+               launch_multiplier),
+        dev);
+  }
+  const double dscale = comm_.options().duration_scale;
+  const bool compact_capable = comm_mode_ != comm::CommMode::kDense;
+
+  // Mirror DistSpmm's StageChoice: the dense/compact decision compares the
+  // unscaled model estimates, the pipeline pays the scaled durations.
+  std::vector<double> comm_raw(static_cast<std::size_t>(p));
+  std::vector<bool> compact(static_cast<std::size_t>(p), false);
+  for (int s = 0; s < p; ++s) {
+    const std::uint64_t block_bytes =
+        static_cast<std::uint64_t>(partition().size(s) * d) * sizeof(float);
+    double seconds = comm_.topology().broadcast_seconds(block_bytes, p);
+    if (compact_capable) {
+      std::uint64_t payload = 0;
+      int messages = 0;
+      for (int r = 0; r < p; ++r) {
+        if (r == s) continue;
+        const std::int64_t ghost = ghost_cols(r, s);
+        if (ghost == 0) continue;
+        payload += static_cast<std::uint64_t>(ghost * d) * sizeof(float);
+        ++messages;
+      }
+      const double compact_seconds =
+          comm_.sendv_rows_seconds(payload, messages);
+      if (comm_mode_ == comm::CommMode::kCompact ||
+          compact_seconds < seconds) {
+        compact[static_cast<std::size_t>(s)] = true;
+        seconds = compact_seconds;
+      }
+    }
+    comm_raw[static_cast<std::size_t>(s)] = seconds;
+  }
+
+  std::vector<double> comp(static_cast<std::size_t>(p), 0.0);
+  const double contention = 1.0 - compute_bandwidth_scale;
+  for (int s = 0; s < p; ++s) {
+    double worst = 0.0;
+    for (int r = 0; r < p; ++r) {
+      const sparse::Csr& tile = grid().tile(r, s);
+      const sim::KernelCost cost = scaled(
+          compact[static_cast<std::size_t>(s)] && r != s
+              ? sparse::spmm_cost(tile.nnz(), tile.rows(), ghost_cols(r, s),
+                                  d)
+              : sparse::spmm_cost(tile, d),
+          traffic_factor, launch_multiplier);
+      double seconds = sim::CostModel::seconds(cost, dev);
+      if (overlap && s + 1 < p && seconds > 0.0) {
+        // DistSpmm's contention dilation, with the same (unscaled) next-
+        // stage exchange estimate.
+        const double fraction = std::min(
+            1.0, comm_raw[static_cast<std::size_t>(s) + 1] / seconds);
+        seconds /= 1.0 - fraction * contention;
+      }
+      worst = std::max(worst, seconds);
+    }
+    comp[static_cast<std::size_t>(s)] = worst;
+  }
+
+  if (!overlap) {
+    double total = 0.0;
+    for (int s = 0; s < p; ++s) {
+      total += dscale * comm_raw[static_cast<std::size_t>(s)] +
+               comp[static_cast<std::size_t>(s)];
+    }
+    return total;
+  }
+  // Double-buffered pipeline: exchange s+1 hides behind SpMM s.
+  double total = dscale * comm_raw[0];
+  for (int s = 0; s + 1 < p; ++s) {
+    total += std::max(comp[static_cast<std::size_t>(s)],
+                      dscale * comm_raw[static_cast<std::size_t>(s) + 1]);
+  }
+  return total + comp[static_cast<std::size_t>(p) - 1];
+}
+
+double Planner::est_15d(std::int64_t d, double traffic_factor,
+                        double launch_multiplier) const {
+  if (exec_15d_ == nullptr || !fits(PlanMode::k15D, d)) return kInfeasible;
+  const int p = parts();
+  const int G = p / 2;
+  const sim::DeviceProfile& dev = machine_.device(0).profile();
+  const double dscale = comm_.options().duration_scale;
+  const comm::Topology& topo = comm_.topology();
+
+  // The chained schedule serializes: group broadcast s, then both SpMMs of
+  // stage s (single-slot buffer), per phase; pair handoffs between the
+  // phases and the return transfer after them.
+  double total = 0.0;
+  for (int s = 0; s < p; ++s) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(partition().size(s) * d) * sizeof(float);
+    total += dscale * topo.broadcast_seconds(bytes, G);
+    double worst = 0.0;
+    for (int j = 0; j < G; ++j) {
+      const double seconds =
+          sim::CostModel::seconds(scaled(sparse::spmm_cost(grid().tile(j, s), d),
+                                         traffic_factor, launch_multiplier),
+                                  dev) +
+          sim::CostModel::seconds(
+              scaled(sparse::spmm_cost(grid().tile(G + j, s), d),
+                     traffic_factor, launch_multiplier),
+              dev);
+      worst = std::max(worst, seconds);
+    }
+    total += worst;
+  }
+
+  const sim::InterconnectProfile& inter = machine_.profile().interconnect;
+  double handoff = 0.0;
+  double ret = 0.0;
+  for (int j = 0; j < G; ++j) {
+    sim::InterconnectProfile pair_profile = inter;
+    if (inter.devices_per_node > 0 &&
+        j / inter.devices_per_node != (G + j) / inter.devices_per_node) {
+      pair_profile.devices_per_node = 1;  // the pair pays the NIC
+    }
+    const comm::Topology pair_topo{pair_profile};
+    const std::uint64_t lo_bytes =
+        static_cast<std::uint64_t>(partition().size(j) * d) * sizeof(float);
+    const std::uint64_t hi_bytes =
+        static_cast<std::uint64_t>(partition().size(G + j) * d) *
+        sizeof(float);
+    handoff = std::max(
+        handoff, dscale * (pair_topo.broadcast_seconds(hi_bytes, 2) +
+                           pair_topo.broadcast_seconds(lo_bytes, 2)));
+    ret = std::max(ret, dscale * pair_topo.broadcast_seconds(lo_bytes, 2));
+  }
+  return total + handoff + ret;
+}
+
+double Planner::est_replicated(std::int64_t d, double traffic_factor,
+                               double launch_multiplier) const {
+  if (exec_replicated_ == nullptr || !fits(PlanMode::kReplicated, d)) {
+    return kInfeasible;
+  }
+  const int p = parts();
+  const sim::DeviceProfile& dev = machine_.device(0).profile();
+  const double dscale = comm_.options().duration_scale;
+  const std::int64_t n = partition().total();
+
+  sim::KernelCost copy;
+  copy.stream_bytes =
+      2.0 * static_cast<double>(partition().max_part_size() * d) *
+      sizeof(float);
+  const double pack = sim::CostModel::seconds(copy, dev);
+
+  const double gather = dscale * comm_.topology().allgather_seconds(
+                                     static_cast<std::uint64_t>(n * d) *
+                                         sizeof(float),
+                                     p);
+
+  double worst = 0.0;
+  for (int r = 0; r < p; ++r) {
+    sim::KernelCost cost;
+    for (int s = 0; s < p; ++s) {
+      cost += sparse::spmm_cost(grid().tile(r, s), d);
+    }
+    cost.launches = 1;
+    cost.gather_working_set =
+        4.0 * static_cast<double>(n) * static_cast<double>(d);
+    worst = std::max(worst,
+                     sim::CostModel::seconds(
+                         scaled(cost, traffic_factor, launch_multiplier),
+                         dev));
+  }
+  return pack + gather + worst;
+}
+
+Planner::Estimate Planner::price(std::int64_t d, bool overlap,
+                                 double compute_bandwidth_scale,
+                                 double traffic_factor,
+                                 double launch_multiplier) const {
+  Estimate est;
+  est.seconds_1d = est_1d(d, overlap, compute_bandwidth_scale,
+                          traffic_factor, launch_multiplier);
+  est.seconds_15d = est_15d(d, traffic_factor, launch_multiplier);
+  est.seconds_replicated =
+      est_replicated(d, traffic_factor, launch_multiplier);
+  est.choice = PlanMode::k1D;
+  double best = est.seconds_1d;
+  if (est.seconds_15d < best) {
+    best = est.seconds_15d;
+    est.choice = PlanMode::k15D;
+  }
+  if (est.seconds_replicated < best) {
+    est.choice = PlanMode::kReplicated;
+  }
+  return est;
+}
+
+PlanMode Planner::decide(const DistIo& io) {
+  sim::PlanCounters delta;
+  PlanMode chosen = mode_;
+  if (mode_ == PlanMode::kAuto) {
+    const auto key = std::make_pair(io.d, io.overlap);
+    const auto it = decisions_.find(key);
+    if (it != decisions_.end()) {
+      chosen = it->second;
+    } else {
+      ++delta.decisions;
+      chosen = price(io.d, io.overlap, io.compute_bandwidth_scale,
+                     io.traffic_factor, io.launch_multiplier)
+                   .choice;
+      decisions_.emplace(key, chosen);
+    }
+  }
+  if (chosen == PlanMode::k15D &&
+      (exec_15d_ == nullptr || !fits(PlanMode::k15D, io.d))) {
+    chosen = PlanMode::k1D;
+    ++delta.fallbacks;
+  } else if (chosen == PlanMode::kReplicated &&
+             (exec_replicated_ == nullptr ||
+              !fits(PlanMode::kReplicated, io.d))) {
+    chosen = PlanMode::k1D;
+    ++delta.fallbacks;
+  }
+  if (chosen == PlanMode::k15D && !accounted_15d_) {
+    exec_15d_->account_memory();
+    accounted_15d_ = true;
+  }
+  switch (chosen) {
+    case PlanMode::k15D:
+      ++delta.products_15d;
+      break;
+    case PlanMode::kReplicated:
+      ++delta.products_replicated;
+      break;
+    default:
+      ++delta.products_1d;
+      break;
+  }
+  machine_.trace().record_plan(delta);
+  return chosen;
+}
+
+DistResult Planner::run(const DistIo& io) {
+  switch (decide(io)) {
+    case PlanMode::k15D:
+      return exec_15d_->run(io);
+    case PlanMode::kReplicated:
+      return exec_replicated_->run(io);
+    default:
+      return spmm_1d_.run(io);
+  }
+}
+
+}  // namespace mggcn::core

@@ -114,14 +114,14 @@ void MgGcnTrainer::preprocess(const graph::Dataset& dataset) {
   const sparse::Csr a_hat = adj.normalize_gcn();       // Â (eq. (2))
   const sparse::Csr a_hat_t = a_hat.transpose();       // Â^T (forward op)
 
-  forward_spmm_ = std::make_unique<DistSpmm>(
+  forward_planner_ = std::make_unique<Planner>(
       machine_, *comm_, make_tile_grid(a_hat_t, partition_),
-      config_.comm_mode);
-  backward_spmm_ = std::make_unique<DistSpmm>(
+      config_.plan_mode, config_.comm_mode);
+  backward_planner_ = std::make_unique<Planner>(
       machine_, *comm_, make_tile_grid(a_hat, partition_),
-      config_.comm_mode);
-  forward_spmm_->account_memory();
-  backward_spmm_->account_memory();
+      config_.plan_mode, config_.comm_mode);
+  forward_planner_->account_memory();
+  backward_planner_->account_memory();
 }
 
 void MgGcnTrainer::allocate_buffers() {
@@ -307,7 +307,7 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
             machine_.device(r).compute_stream().enqueue(std::move(task));
       }
 
-      DistSpmm::Io io;
+      DistIo io;
       io.input = buffers_of(&RankState::hw);
       io.output = layer_out;
       io.bc1 = buffers_of(&RankState::bc1);
@@ -319,7 +319,7 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
       io.slot_readers = &bc_slot_readers_;
       io.traffic_factor = config_.spmm_traffic_factor;
       io.launch_multiplier = config_.kernel_overhead_multiplier;
-      DistSpmm::Result result = forward_spmm_->run(io);
+      DistResult result = forward_planner_->run(io);
       for (int r = 0; r < p; ++r) {
         machine_.device(r).compute_stream().wait_event(
             result.input_released[static_cast<std::size_t>(r)]);
@@ -327,7 +327,7 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
       next_ready = result.done;
     } else {
       // Distributed SpMM on the narrow input (HW = Â^T X_l), then GeMM.
-      DistSpmm::Io io;
+      DistIo io;
       io.input = layer_in;
       io.output = buffers_of(&RankState::hw);
       io.bc1 = buffers_of(&RankState::bc1);
@@ -339,7 +339,7 @@ void MgGcnTrainer::enqueue_forward(std::vector<sim::Event>* logits_ready) {
       io.slot_readers = &bc_slot_readers_;
       io.traffic_factor = config_.spmm_traffic_factor;
       io.launch_multiplier = config_.kernel_overhead_multiplier;
-      DistSpmm::Result result = forward_spmm_->run(io);
+      DistResult result = forward_planner_->run(io);
       for (int r = 0; r < p; ++r) {
         machine_.device(r).compute_stream().wait_event(
             result.input_released[static_cast<std::size_t>(r)]);
@@ -449,7 +449,7 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
     // or §4.4's first-layer skip: use G' directly.
     std::vector<sim::DeviceBuffer*> z_buf;
     if (!plan.skip_backward_spmm) {
-      DistSpmm::Io io;
+      DistIo io;
       io.input = grad_buf;
       io.output = buffers_of(&RankState::hw);
       io.bc1 = buffers_of(&RankState::bc1);
@@ -461,7 +461,7 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
       io.slot_readers = &bc_slot_readers_;
       io.traffic_factor = config_.spmm_traffic_factor;
       io.launch_multiplier = config_.kernel_overhead_multiplier;
-      DistSpmm::Result result = backward_spmm_->run(io);
+      DistResult result = backward_planner_->run(io);
       for (int r = 0; r < p; ++r) {
         machine_.device(r).compute_stream().wait_event(
             result.input_released[static_cast<std::size_t>(r)]);
@@ -589,6 +589,7 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
 EpochStats MgGcnTrainer::train_epoch() {
   const double mark = machine_.align_clocks();
   const sim::CommVolume volume_mark = machine_.trace().comm_volume();
+  const sim::PlanCounters plan_mark = machine_.trace().plan_counters();
   machine_.begin_epoch(epoch_);
   rank_loss_.assign(ranks_.size(), LossResult{});
 
@@ -614,6 +615,17 @@ EpochStats MgGcnTrainer::train_epoch() {
       static_cast<int>(volume.compact_stages - volume_mark.compact_stages);
   stats.comm_dense_stages =
       static_cast<int>(volume.dense_stages - volume_mark.dense_stages);
+  const sim::PlanCounters plans = machine_.trace().plan_counters();
+  stats.plan_products_1d =
+      static_cast<int>(plans.products_1d - plan_mark.products_1d);
+  stats.plan_products_15d =
+      static_cast<int>(plans.products_15d - plan_mark.products_15d);
+  stats.plan_products_replicated = static_cast<int>(
+      plans.products_replicated - plan_mark.products_replicated);
+  stats.plan_decisions =
+      static_cast<int>(plans.decisions - plan_mark.decisions);
+  stats.plan_fallbacks =
+      static_cast<int>(plans.fallbacks - plan_mark.fallbacks);
   double loss = 0.0;
   std::int64_t correct = 0;
   std::int64_t counted = 0;
@@ -706,7 +718,7 @@ void MgGcnTrainer::restore(const Checkpoint& snapshot) {
 }
 
 double MgGcnTrainer::tile_imbalance() const {
-  return forward_spmm_->grid().imbalance();
+  return forward_planner_->grid().imbalance();
 }
 
 std::uint64_t MgGcnTrainer::peak_memory_bytes() const {

@@ -26,7 +26,7 @@
 #include "comm/communicator.hpp"
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
-#include "core/dist_spmm.hpp"
+#include "core/planner.hpp"
 #include "core/gcn_kernels.hpp"
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
@@ -102,6 +102,11 @@ class MgGcnTrainer {
     return preprocessing_seconds_;
   }
   [[nodiscard]] std::uint64_t peak_memory_bytes() const;
+  /// The forward-product planner (tiles of A-hat^T); tests and benches
+  /// audit its pricing surface through this.
+  [[nodiscard]] const Planner& forward_planner() const {
+    return *forward_planner_;
+  }
   [[nodiscard]] int num_layers() const {
     return static_cast<int>(dims_.size()) - 1;
   }
@@ -151,8 +156,8 @@ class MgGcnTrainer {
   PartitionVector partition_;
   std::vector<std::uint32_t> perm_;  // original -> permuted vertex id
   std::unique_ptr<comm::Communicator> comm_;
-  std::unique_ptr<DistSpmm> forward_spmm_;   // tiles of Â^T
-  std::unique_ptr<DistSpmm> backward_spmm_;  // tiles of Â
+  std::unique_ptr<Planner> forward_planner_;   // tiles of Â^T
+  std::unique_ptr<Planner> backward_planner_;  // tiles of Â
 
   std::vector<RankState> ranks_;
   /// Cross-layer BC1/BC2 write-after-read hazard state (see DistSpmm::Io).

@@ -70,12 +70,23 @@ CommVolume Trace::comm_volume() const {
   return comm_volume_;
 }
 
+void Trace::record_plan(const PlanCounters& delta) {
+  std::lock_guard lock(mutex_);
+  plan_counters_ += delta;
+}
+
+PlanCounters Trace::plan_counters() const {
+  std::lock_guard lock(mutex_);
+  return plan_counters_;
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
   fault_records_.clear();
   hazard_records_.clear();
   comm_volume_ = CommVolume{};
+  plan_counters_ = PlanCounters{};
 }
 
 std::vector<HazardRecord> Trace::hazard_records() const {

@@ -99,6 +99,29 @@ struct CommVolume {
   }
 };
 
+/// Aggregate strategy-selection counters for the distributed products
+/// (core::Planner records one delta per product at enqueue time, like
+/// CommVolume). `products_*` count executed products by strategy;
+/// `decisions` counts fresh auto-mode pricings (cache misses);
+/// `fallbacks` counts products where the requested/chosen strategy was
+/// infeasible (odd rank count, replica would not fit) and 1D ran instead.
+struct PlanCounters {
+  std::uint64_t products_1d = 0;
+  std::uint64_t products_15d = 0;
+  std::uint64_t products_replicated = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t fallbacks = 0;
+
+  PlanCounters& operator+=(const PlanCounters& o) {
+    products_1d += o.products_1d;
+    products_15d += o.products_15d;
+    products_replicated += o.products_replicated;
+    decisions += o.decisions;
+    fallbacks += o.fallbacks;
+    return *this;
+  }
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -121,6 +144,8 @@ class Trace {
   void record_hazard(HazardRecord rec);
   /// Accumulates one stage's communication volume.
   void record_comm_volume(const CommVolume& delta);
+  /// Accumulates one distributed product's strategy-selection counters.
+  void record_plan(const PlanCounters& delta);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -135,6 +160,10 @@ class Trace {
   /// Running communication-volume totals (snapshot; per-epoch figures
   /// difference two snapshots).
   [[nodiscard]] CommVolume comm_volume() const;
+
+  /// Running strategy-selection totals (snapshot; per-epoch figures
+  /// difference two snapshots).
+  [[nodiscard]] PlanCounters plan_counters() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -164,6 +193,7 @@ class Trace {
   std::vector<FaultRecord> fault_records_;
   std::vector<HazardRecord> hazard_records_;
   CommVolume comm_volume_;
+  PlanCounters plan_counters_;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,

@@ -6,6 +6,7 @@
 #include "baselines/cagnet.hpp"
 #include "baselines/dgl_like.hpp"
 #include "comm/comm_mode.hpp"
+#include "core/plan_mode.hpp"
 #include "baselines/distgnn.hpp"
 #include "core/reference.hpp"
 #include "core/trainer.hpp"
@@ -99,9 +100,11 @@ TEST(CagnetTrainer, TrainsMultiDevice) {
 
 TEST(Baselines, MgGcnIsFastestOnTheSameWorkload) {
   // System-vs-system timing relationships are stated for the paper's dense
-  // broadcast exchange; pin it so a forced MGGCN_COMM=compact run (an
-  // intentional pessimization on dense graphs) keeps the premise.
+  // broadcast exchange and 1D staged pipeline; pin both so forced
+  // MGGCN_COMM=compact / MGGCN_PLAN=15d runs (intentional pessimizations
+  // on this workload) keep the premise.
   comm::ScopedCommMode dense_mode(comm::CommMode::kDense);
+  core::ScopedPlanMode plan_1d(core::PlanMode::k1D);
   // A big-enough replica that multi-GPU pays off (Cora-sized graphs do
   // not scale, as the paper notes).
   const graph::Dataset ds = phantom_dataset(/*scale=*/8.0);

@@ -35,6 +35,10 @@ core::TrainConfig small_config(comm::CommMode mode) {
   config.hidden_dims = {16};
   config.seed = 3;
   config.comm_mode = mode;
+  // These tests audit the 1D staged exchange specifically; pin the
+  // strategy so the auto-planner cannot reroute the products (it picks
+  // the replicated executor on graphs this small).
+  config.plan_mode = core::PlanMode::k1D;
   return config;
 }
 
@@ -105,6 +109,7 @@ TEST(CommCompact, EnvModeReachesDefaultConfiguredTrainer) {
   const auto parsed = comm::parse_comm_mode("compact");
   ASSERT_TRUE(parsed.has_value());
   comm::ScopedCommMode scoped(*parsed);
+  core::ScopedPlanMode plan(core::PlanMode::k1D);  // audit the 1D exchange
   const graph::Dataset ds = small_dataset();
   sim::Machine machine(sim::dgx_v100(), 4, sim::ExecutionMode::kReal);
   core::MgGcnTrainer trainer(machine, ds, core::TrainConfig{});

@@ -52,7 +52,7 @@ struct Fixture15D {
     DistSpmm15D::Io io;
     for (auto& b : input) io.input.push_back(&b);
     for (auto& b : output) io.output.push_back(&b);
-    for (auto& b : bc) io.bc.push_back(&b);
+    for (auto& b : bc) io.bc1.push_back(&b);
     io.d = d;
     return spmm->run(io);
   }

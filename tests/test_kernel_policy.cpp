@@ -317,6 +317,9 @@ TEST(KernelPolicy, DistributedTrainerChargesInspectOncePerTile) {
     core::TrainConfig config;
     config.hidden_dims = {16};
     config.seed = 3;
+    // The inspect-count contract below is specific to the 1D staged
+    // executor; pin the strategy so auto cannot reroute these products.
+    config.plan_mode = core::PlanMode::k1D;
 
     sim::Machine machine(sim::dgx_v100(), gpus, sim::ExecutionMode::kReal);
     core::MgGcnTrainer trainer(machine, ds, config);

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "comm/comm_mode.hpp"
+#include "core/plan_mode.hpp"
 #include "core/reference.hpp"
 #include "core/trainer.hpp"
 #include "graph/datasets.hpp"
@@ -163,8 +164,11 @@ TEST(TrainerMath, SkipApproximationChangesGradientsOnlySlightly) {
 TEST(TrainerSim, MoreDevicesReduceEpochTimeOnLargeGraphs) {
   // The device-scaling curve is stated for the paper's dense broadcast
   // exchange; pin it so a forced MGGCN_COMM=compact run (an intentional
-  // pessimization on dense graphs) keeps the premise.
+  // pessimization on dense graphs) keeps the premise. Likewise the 1D
+  // staged pipeline: a forced MGGCN_PLAN=15d run serializes two phases on
+  // half the ranks each, which is not the scaling path under study.
   comm::ScopedCommMode dense_mode(comm::CommMode::kDense);
+  core::ScopedPlanMode plan_1d(core::PlanMode::k1D);
   graph::DatasetSpec spec = graph::arxiv();
   graph::DatasetOptions options;
   options.scale = 8.0;
@@ -199,6 +203,10 @@ TEST(TrainerSim, OverlapNeverSlowsTheEpoch) {
     for (const bool overlap : {true, false}) {
       TrainConfig config = model_hidden512();
       config.overlap = overlap;
+      // Overlap is a property of the 1D staged pipeline; the auto planner
+      // may pick the replicated executor (which ignores overlap but still
+      // pays the config's comm scaling), breaking the comparison.
+      config.plan_mode = PlanMode::k1D;
       sim::Machine machine(sim::dgx_v100(), gpus,
                            sim::ExecutionMode::kPhantom);
       MgGcnTrainer trainer(machine, ds, config);
