@@ -45,7 +45,7 @@ core::TrainConfig balanced_cuts(core::TrainConfig c) {
   // The alternative load-balancing strategy: keep the natural order but
   // cut at nnz-balanced points instead of permuting.
   c.permute = false;
-  c.partition_strategy = core::PartitionStrategy::kBalancedNnz;
+  c.part_mode = core::PartMode::kBalanced;
   return c;
 }
 

@@ -8,7 +8,14 @@
 // The cluster model keeps NVSwitch bandwidth inside each 8-GPU node but
 // funnels cross-node collectives through one HDR NIC per node; the staged
 // broadcast's bandwidth collapses as soon as the group spans two nodes.
+// This bench sweeps the MGGCN_PART partitioner modes against that wall on
+// a community-structured (BTER) graph: `random` pays the full ghost bill,
+// `locality` prices the cut down, `hier` additionally folds the cut onto
+// the cheap intra-node links, and `auto` must match the best candidate.
+// scripts/check_perf.py --part gates this bench's --json output.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/common.hpp"
 #include "util/cli.hpp"
@@ -16,51 +23,135 @@
 
 using namespace mggcn;
 
+namespace {
+
+std::string gigabytes(std::uint64_t bytes) {
+  return util::format_double(static_cast<double>(bytes) / 1e9, 3);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::CliParser cli(
-      "Future work (§7): MG-GCN scaling across DGX-A100 nodes");
-  cli.option("dataset", "Products", "dataset");
-  cli.option("gpus", "1,2,4,8,16,32", "GPU counts (8 per node)");
-  cli.option("scale", "0", "replica scale override");
+      "Future work (§7): partitioner modes vs DGX-A100 cluster scaling");
+  cli.option("gpus", "8,16,32,64", "GPU counts (8 per node)");
+  cli.option("part", "random,locality,hier,auto", "partitioner modes");
+  cli.option("n", "786432", "full-scale vertices");
+  cli.option("d", "128", "feature width");
+  cli.option("hidden", "512", "hidden width");
+  cli.option("degree", "8", "average degree");
+  cli.option("sigma", "0.6", "degree-distribution skew (lognormal sigma)");
+  cli.option("clustering", "0.9", "community density (BTER rho)");
+  cli.option("scale", "8", "replica scale");
+  cli.option("json", "", "write results to this JSON file");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
 
-  const graph::DatasetSpec spec = graph::dataset_by_name(cli.get("dataset"));
-  const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
-                                                   : bench::default_scale(spec);
-  const graph::Dataset ds = bench::load_replica(spec, scale);
+  graph::DatasetSpec spec;
+  spec.name = "PartSweep-k" + cli.get("degree") + "-s" +
+              std::to_string(static_cast<int>(
+                  cli.get_double("sigma") * 100.0)) +
+              "-c" +
+              std::to_string(static_cast<int>(
+                  cli.get_double("clustering") * 100.0));
+  spec.n = cli.get_int("n");
+  spec.m = spec.n * cli.get_int("degree");
+  spec.feature_dim = cli.get_int("d");
+  spec.num_classes = 40;
+  spec.avg_degree = cli.get_double("degree");
+  spec.degree_sigma = cli.get_double("sigma");
+  spec.clustering = cli.get_double("clustering");
+  const graph::Dataset ds = bench::load_replica(spec, cli.get_double("scale"));
 
-  bench::print_header("§7 / abstract",
-                      "epoch runtime across cluster nodes (8 GPUs/node, "
-                      "HDR inter-node fabric), 2-layer GCN hidden=512",
-                      spec, ds.scale);
+  bench::print_header(
+      "§7 / abstract",
+      "partitioner modes vs cluster scaling (8 GPUs/node, HDR inter-node "
+      "fabric), 2-layer GCN hidden=" + cli.get("hidden"),
+      spec, ds.scale);
+  std::cout << "  [replica: n=" << ds.n() << " nnz=" << ds.nnz()
+            << " scale=1/" << ds.scale << "]\n\n";
 
-  util::Table table(
-      {"GPUs", "nodes", "epoch(s)", "speedup vs 1 GPU", "efficiency"});
-  double base = 0.0;
-  for (const auto gpus : cli.get_int_list("gpus")) {
-    const int g = static_cast<int>(gpus);
-    const int nodes = (g + 7) / 8;
-    const bench::EpochResult r =
-        bench::run_epoch(bench::System::kMgGcn, sim::dgx_a100_cluster(nodes),
-                         g, ds, core::model_hidden512());
-    if (r.oom) {
-      table.add_row({std::to_string(gpus), std::to_string(nodes), "OOM", "-",
-                     "-"});
-      continue;
+  util::Table table({"GPUs", "nodes", "part", "epoch(s)", "vs random",
+                     "wire GB", "inter GB", "ghosts", "inter ghosts",
+                     "imbal"});
+  std::ostringstream json_rows;
+  bool first_row = true;
+
+  for (const auto gpus64 : cli.get_int_list("gpus")) {
+    const int gpus = static_cast<int>(gpus64);
+    const int nodes = (gpus + 7) / 8;
+    const sim::MachineProfile profile = sim::dgx_a100_cluster(nodes);
+    double random_seconds = 0.0;
+
+    for (const std::string& part : cli.get_list("part")) {
+      core::TrainConfig config;
+      config.hidden_dims = {cli.get_int("hidden")};
+      const auto mode = core::parse_part_mode(part);
+      if (!mode.has_value()) {
+        std::cerr << "error: unknown partitioner mode '" << part << "'\n";
+        return 1;
+      }
+      config.part_mode = *mode;
+      // The sweep is about the 1D staged exchange's wire bill; pin the
+      // strategy so the auto-planner cannot reroute products and dilute
+      // the partitioner comparison.
+      config.plan_mode = core::PlanMode::k1D;
+      const bench::EpochResult r = bench::run_epoch(
+          bench::System::kMgGcn, profile, gpus, ds, config);
+      if (part == "random") random_seconds = r.oom ? 0.0 : r.seconds;
+
+      if (!first_row) json_rows << ",\n";
+      first_row = false;
+      if (r.oom) {
+        table.add_row({std::to_string(gpus), std::to_string(nodes), part,
+                       "OOM", "-", "-", "-", "-", "-", "-"});
+        json_rows << "    {\"machine\": \"dgx-a100-cluster\", \"gpus\": "
+                  << gpus << ", \"nodes\": " << nodes << ", \"part\": \""
+                  << part << "\", \"oom\": true}";
+        continue;
+      }
+
+      const double vs_random =
+          (random_seconds > 0.0 && r.seconds > 0.0)
+              ? random_seconds / r.seconds
+              : 0.0;
+      table.add_row(
+          {std::to_string(gpus), std::to_string(nodes), part,
+           bench::cell_seconds(r), util::format_speedup(vs_random),
+           gigabytes(r.comm_wire_bytes), gigabytes(r.comm_wire_bytes_inter),
+           std::to_string(r.part_ghost_rows),
+           std::to_string(r.part_inter_node_ghost_rows),
+           util::format_double(r.part_imbalance, 3)});
+      json_rows << "    {\"machine\": \"dgx-a100-cluster\", \"gpus\": "
+                << gpus << ", \"nodes\": " << nodes << ", \"part\": \""
+                << part << "\", \"oom\": false, \"epoch_seconds\": "
+                << r.seconds << ", \"wire_bytes\": " << r.comm_wire_bytes
+                << ", \"wire_bytes_inter\": " << r.comm_wire_bytes_inter
+                << ", \"imbalance\": " << r.part_imbalance << ", "
+                << bench::part_json_fragment(r) << ", "
+                << bench::comm_json_fragment(r) << ", "
+                << bench::plan_json_fragment(r) << "}";
     }
-    if (g == 1) base = r.seconds;
-    const double speedup = base > 0 ? base / r.seconds : 0.0;
-    table.add_row({std::to_string(gpus), std::to_string(nodes),
-                   bench::cell_seconds(r), util::format_speedup(speedup),
-                   util::format_double(100.0 * speedup / g, 1) + "%"});
   }
 
   std::cout << table.to_string()
-            << "\n(speedup should climb to 8 GPUs and stall/regress across "
-               "nodes — the single-machine regime the paper targets.)\n";
+            << "\n(random stalls across nodes; locality cuts the wire "
+               "bytes, hier folds the remaining cut onto intra-node links, "
+               "and auto must match the winner.)\n";
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n  \"bench\": \"multinode_scaling\",\n  \"rows\": [\n"
+       << json_rows.str() << "\n  ]\n}\n";
+    if (!os) {
+      std::cerr << "error: could not write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "\nJSON written to " << json_path << '\n';
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "bench/common.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "comm/communicator.hpp"
 #include "core/dist_spmm.hpp"
 #include "core/partition.hpp"
+#include "core/partitioner.hpp"
 #include "core/trainer.hpp"
 #include "sparse/io.hpp"
 #include "util/format.hpp"
@@ -114,6 +116,18 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
     result.plan_products_replicated = stats.plan_products_replicated;
     result.plan_decisions = stats.plan_decisions;
     result.plan_fallbacks = stats.plan_fallbacks;
+    result.comm_wire_bytes_inter = static_cast<std::uint64_t>(
+        static_cast<double>(stats.comm_wire_bytes_inter) * x);
+    result.part_cut_edges = static_cast<std::int64_t>(
+        static_cast<double>(stats.part_cut_edges) * x);
+    result.part_inter_node_cut_edges = static_cast<std::int64_t>(
+        static_cast<double>(stats.part_inter_node_cut_edges) * x);
+    result.part_ghost_rows = static_cast<std::int64_t>(
+        static_cast<double>(stats.part_ghost_rows) * x);
+    result.part_inter_node_ghost_rows = static_cast<std::int64_t>(
+        static_cast<double>(stats.part_inter_node_ghost_rows) * x);
+    result.part_avg_ghost_density = stats.part_avg_ghost_density;
+    result.part_imbalance = stats.part_imbalance;
   } catch (const OutOfMemoryError&) {
     result.oom = true;
   }
@@ -123,7 +137,7 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
 SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
                                const sim::MachineProfile& profile, int gpus,
                                std::int64_t d, bool permute, bool overlap,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, core::PartMode part_mode) {
   sim::Machine machine(sim::scale_profile(profile, dataset.scale), gpus,
                        sim::ExecutionMode::kPhantom);
 
@@ -132,17 +146,23 @@ SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
   comm_options.duration_scale = overlapping ? 1.10 : 1.0;
   comm::Communicator comm(machine, comm_options);
 
-  // Preprocessing identical to the trainer's (Â§5.2 + eq. (2)).
-  util::Rng rng(seed);
-  sparse::Csr adj = dataset.adjacency;
-  if (permute) {
-    const auto perm = rng.permutation<std::uint32_t>(
-        static_cast<std::size_t>(dataset.n()));
-    adj = adj.permute_symmetric(perm);
-  }
+  // Preprocessing identical to the trainer's (Â§5.2 + eq. (2)), routed
+  // through the partitioner registry so the structured orderings are
+  // available to the timeline figures too.
+  core::PartitionerOptions popt;
+  popt.parts = gpus;
+  popt.permute_random = permute;
+  popt.seed = seed;
+  popt.devices_per_node = profile.interconnect.devices_per_node;
+  core::PartitionResult planned =
+      core::plan_partition(dataset.adjacency, part_mode, popt);
+  const bool identity_perm =
+      std::is_sorted(planned.perm.begin(), planned.perm.end());
+  const sparse::Csr adj =
+      identity_perm ? dataset.adjacency
+                    : dataset.adjacency.permute_symmetric(planned.perm);
   const sparse::Csr op = adj.normalize_gcn().transpose();
-  const core::PartitionVector partition =
-      core::PartitionVector::uniform(dataset.n(), gpus);
+  const core::PartitionVector partition = std::move(planned.partition);
   core::DistSpmm spmm(machine, comm, core::make_tile_grid(op, partition));
 
   const auto np = static_cast<std::size_t>(gpus);
@@ -218,6 +238,17 @@ std::string plan_json_fragment(const EpochResult& result) {
      << ", \"products_replicated\": " << result.plan_products_replicated
      << ", \"decisions\": " << result.plan_decisions
      << ", \"fallbacks\": " << result.plan_fallbacks << "}";
+  return os.str();
+}
+
+std::string part_json_fragment(const EpochResult& result) {
+  std::ostringstream os;
+  os << "\"part_stats\": {\"cut_edges\": " << result.part_cut_edges
+     << ", \"inter_node_cut_edges\": " << result.part_inter_node_cut_edges
+     << ", \"ghost_rows\": " << result.part_ghost_rows
+     << ", \"inter_node_ghost_rows\": " << result.part_inter_node_ghost_rows
+     << ", \"avg_ghost_density\": " << result.part_avg_ghost_density
+     << ", \"imbalance\": " << result.part_imbalance << "}";
   return os.str();
 }
 

@@ -63,6 +63,17 @@ struct EpochResult {
   int plan_products_replicated = 0;
   int plan_decisions = 0;
   int plan_fallbacks = 0;
+  /// Wire bytes that crossed a node boundary (full-scale extrapolated;
+  /// 0 on single-node profiles).
+  std::uint64_t comm_wire_bytes_inter = 0;
+  /// Partitioner cut quality of the active ordering (replica counts;
+  /// scale-invariant ratios, extrapolated edge/row counts).
+  std::int64_t part_cut_edges = 0;
+  std::int64_t part_inter_node_cut_edges = 0;
+  std::int64_t part_ghost_rows = 0;
+  std::int64_t part_inter_node_ghost_rows = 0;
+  double part_avg_ghost_density = 0.0;
+  double part_imbalance = 1.0;
 };
 
 /// Builds a phantom-mode machine + the requested system and measures one
@@ -85,6 +96,10 @@ std::string comm_json_fragment(const EpochResult& result);
 /// (`"plan_counters": {...}`), for splicing into a bench's --json rows.
 std::string plan_json_fragment(const EpochResult& result);
 
+/// The epoch's partitioner cut-quality counters as a JSON object fragment
+/// (`"part_stats": {...}`), for splicing into a bench's --json rows.
+std::string part_json_fragment(const EpochResult& result);
+
 /// Isolated one-shot distributed SpMM for the timeline figures (6 and 8):
 /// partitions the dataset's normalized adjacency transpose, allocates the
 /// dense blocks, runs one staged product, and returns the per-stage
@@ -98,10 +113,15 @@ struct SpmmTimeline {
 };
 
 /// `profile` is the unscaled machine profile (scaled internally).
+/// `part_mode` selects the vertex ordering (core::PartMode); kRandom with
+/// permute=false reproduces the natural-order baseline, kRandom with
+/// permute=true the §5.2 shuffle, and the structured modes route through
+/// core::plan_partition.
 SpmmTimeline run_spmm_timeline(const graph::Dataset& dataset,
                                const sim::MachineProfile& profile, int gpus,
                                std::int64_t d, bool permute, bool overlap,
-                               std::uint64_t seed = 1);
+                               std::uint64_t seed = 1,
+                               core::PartMode part_mode = core::PartMode::kRandom);
 
 /// Prints the standard bench header (what is reproduced, scale used).
 void print_header(const std::string& id, const std::string& what,

@@ -49,6 +49,19 @@ and enforces three properties:
    speedup is also checked against it with the ``--max-regression``
    allowance.
 
+6. **Partitioner gate** (``--part <json>``, from
+   ``bench_multinode_scaling --json``): for every (machine, gpus, nodes)
+   group at ``gpus >= --part-gate-min-gpus``, the ``locality`` and
+   ``hier`` partitioners must move strictly fewer wire bytes than
+   ``random`` while keeping nnz imbalance at most
+   ``--part-max-imbalance``; ``auto`` must never lose to ``random``
+   (``--part-min-speedup``); and at least one group at
+   ``--part-win-nodes`` nodes must show a locality/hier epoch win of
+   ``--part-win-speedup`` (default 1.2x) over ``random`` — the
+   cut-priced cluster scale-out payoff. When the committed baseline has
+   a ``part`` section, each group's locality-over-random speedup is
+   also checked against it with the ``--max-regression`` allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
@@ -306,6 +319,103 @@ def check_plan(rows: list[dict], min_vs_fixed: float, win_speedup: float
     return failures, report, speedups
 
 
+def load_part_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "multinode_scaling":
+        raise ValueError(f"{path} is not a bench_multinode_scaling JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return [row for row in doc.get("rows", []) if not row.get("oom")]
+
+
+def part_groups(rows: list[dict]) -> dict[tuple, dict[str, dict]]:
+    """(machine, gpus, nodes) -> partitioner mode -> row."""
+    groups: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        key = (row["machine"], row["gpus"], row["nodes"])
+        groups.setdefault(key, {})[row["part"]] = row
+    return groups
+
+
+def check_part(rows: list[dict], min_speedup: float, gate_min_gpus: int,
+               max_imbalance: float, win_speedup: float, win_nodes: int
+               ) -> tuple[list[str], list[str], dict[str, float]]:
+    """The partitioner gate over bench_multinode_scaling rows."""
+    failures, report = [], []
+    speedups: dict[str, float] = {}
+    best_win: tuple[float, str] | None = None
+    win_groups = 0
+    for key, modes in sorted(part_groups(rows).items()):
+        machine, gpus, nodes = key
+        random = modes.get("random")
+        if random is None or random["epoch_seconds"] <= 0:
+            continue
+        name = f"{machine}/gpus:{gpus}/nodes:{nodes}"
+        gated = gpus >= gate_min_gpus
+        for mode in ("locality", "hier", "auto"):
+            row = modes.get(mode)
+            if row is None or row["epoch_seconds"] <= 0:
+                continue
+            speedup = random["epoch_seconds"] / row["epoch_seconds"]
+            report.append(f"part {name}/{mode}: {speedup:.2f}x over random, "
+                          f"wire {row['wire_bytes']} vs "
+                          f"{random['wire_bytes']}, imbalance "
+                          f"{row['imbalance']:.3f}")
+            if mode == "locality":
+                speedups[name] = speedup
+            if not gated:
+                continue
+            if row["imbalance"] > max_imbalance:
+                failures.append(
+                    f"part gate: {name}/{mode} imbalance "
+                    f"{row['imbalance']:.3f} exceeds the "
+                    f"{max_imbalance:.2f} balance contract")
+            if mode in ("locality", "hier"):
+                if row["wire_bytes"] >= random["wire_bytes"]:
+                    failures.append(
+                        f"part gate: {name}/{mode} moved "
+                        f"{row['wire_bytes']} wire bytes, not fewer than "
+                        f"random's {random['wire_bytes']}")
+                if nodes == win_nodes:
+                    win_groups += 1
+                    if best_win is None or speedup > best_win[0]:
+                        best_win = (speedup, f"{name}/{mode}")
+            if mode == "auto" and speedup < min_speedup:
+                failures.append(
+                    f"part gate: auto slower than random on {name}: "
+                    f"{speedup:.3f}x (required >= {min_speedup:.3f}x; the "
+                    f"cost-model selector must never lose)")
+    if win_groups == 0:
+        failures.append(
+            f"part gate: no locality/hier rows at nodes={win_nodes} with "
+            f"gpus >= {gate_min_gpus}; the cluster scale-out gate did not "
+            f"run")
+    elif best_win is not None and best_win[0] < win_speedup:
+        failures.append(
+            f"part gate: best locality/hier epoch win at nodes={win_nodes} "
+            f"is {best_win[0]:.2f}x ({best_win[1]}); at least one must "
+            f"reach {win_speedup:.2f}x over random")
+    return failures, report, speedups
+
+
+def check_part_baseline(speedups: dict[str, float],
+                        baseline: dict[str, float],
+                        max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in speedups:
+            print(f"warning: baseline part config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if speedups[name] < floor:
+            failures.append(
+                f"part regression: {name}: locality is "
+                f"{speedups[name]:.2f}x over random < {floor:.2f}x "
+                f"(baseline {base:.2f}x, allowed -{max_regression:.0%})")
+    return failures
+
+
 def check_plan_baseline(speedups: dict[str, float],
                         baseline: dict[str, float],
                         max_regression: float) -> list[str]:
@@ -386,14 +496,33 @@ def main() -> int:
     parser.add_argument("--plan-win-speedup", type=float, default=1.15,
                         help="auto-over-1d ratio at least one non-1d-routed "
                         "config must reach (default: %(default)s)")
+    parser.add_argument("--part", type=Path, default=None,
+                        help="bench_multinode_scaling JSON to gate (check 6)")
+    parser.add_argument("--part-min-speedup", type=float, default=0.999,
+                        help="auto-over-random epoch ratio required on every "
+                        "gated partitioner config (default: %(default)s)")
+    parser.add_argument("--part-gate-min-gpus", type=int, default=8,
+                        help="smallest GPU count the partitioner gate "
+                        "applies to (default: %(default)s)")
+    parser.add_argument("--part-max-imbalance", type=float, default=1.15,
+                        help="largest nnz imbalance a locality/hier/auto "
+                        "partition may show (default: %(default)s)")
+    parser.add_argument("--part-win-speedup", type=float, default=1.2,
+                        help="locality/hier-over-random ratio at least one "
+                        "multi-node config must reach (default: %(default)s)")
+    parser.add_argument("--part-win-nodes", type=int, default=8,
+                        help="node count of the cluster scale-out win rows "
+                        "(default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
     args = parser.parse_args()
 
-    if args.current is None and args.comm is None and args.plan is None:
+    if (args.current is None and args.comm is None and args.plan is None
+            and args.part is None):
         print("error: pass a bench_kernels JSON, --comm <json>, "
-              "--plan <json>, or a combination", file=sys.stderr)
+              "--plan <json>, --part <json>, or a combination",
+              file=sys.stderr)
         return 1
 
     current: dict[str, float] = {}
@@ -408,6 +537,8 @@ def main() -> int:
     comm_speedups: dict[str, float] = {}
     plan_rows = load_plan_rows(args.plan) if args.plan is not None else None
     plan_speedups: dict[str, float] = {}
+    part_rows = load_part_rows(args.part) if args.part is not None else None
+    part_speedups: dict[str, float] = {}
 
     if args.update:
         payload = {}
@@ -432,10 +563,18 @@ def main() -> int:
                 plan_rows, args.plan_min_speedup, args.plan_win_speedup)
             payload["plan"] = {
                 k: plan_speedups[k] for k in sorted(plan_speedups)}
+        if part_rows is not None:
+            _, _, part_speedups = check_part(
+                part_rows, args.part_min_speedup, args.part_gate_min_gpus,
+                args.part_max_imbalance, args.part_win_speedup,
+                args.part_win_nodes)
+            payload["part"] = {
+                k: part_speedups[k] for k in sorted(part_speedups)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(current)} "
               f"benchmarks, {len(comm_speedups)} comm configs, "
-              f"{len(plan_speedups)} plan configs)")
+              f"{len(plan_speedups)} plan configs, "
+              f"{len(part_speedups)} part configs)")
         return 0
 
     failures: list[str] = []
@@ -480,7 +619,19 @@ def main() -> int:
             failures += check_plan_baseline(plan_speedups,
                                             baseline_doc["plan"],
                                             args.max_regression)
-    for line in report + planned_report + comm_report + plan_report:
+    part_report: list[str] = []
+    if part_rows is not None:
+        part_failures, part_report, part_speedups = check_part(
+            part_rows, args.part_min_speedup, args.part_gate_min_gpus,
+            args.part_max_imbalance, args.part_win_speedup,
+            args.part_win_nodes)
+        failures += part_failures
+        if "part" in baseline_doc:
+            failures += check_part_baseline(part_speedups,
+                                            baseline_doc["part"],
+                                            args.max_regression)
+    for line in (report + planned_report + comm_report + plan_report +
+                 part_report):
         print(line)
 
     if failures:
@@ -490,7 +641,8 @@ def main() -> int:
         return 1
     print(f"check_perf: OK ({len(current)} benchmarks, "
           f"{len(comm_speedups)} comm configs, "
-          f"{len(plan_speedups)} plan configs checked)")
+          f"{len(plan_speedups)} plan configs, "
+          f"{len(part_speedups)} part configs checked)")
     return 0
 
 

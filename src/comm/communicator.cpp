@@ -1,5 +1,6 @@
 #include "comm/communicator.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <vector>
@@ -178,6 +179,81 @@ double Communicator::sendv_rows_seconds(std::uint64_t total_bytes,
   return wire + pack;
 }
 
+double Communicator::sendv_rows_seconds(const SendvShape& shape) const {
+  if (size() <= 1 || shape.messages() <= 0) return 0.0;
+  const double wire = topology_.sendv_split_seconds(
+      shape.intra_bytes, shape.intra_messages, shape.inter_bytes,
+      shape.inter_messages, size(), shape.scatter_bytes);
+  const double bandwidth = devices_.front()->profile().memory_bandwidth;
+  const double pack =
+      bandwidth > 0.0
+          ? 2.0 * static_cast<double>(shape.total_bytes()) / bandwidth
+          : 0.0;
+  return wire + pack;
+}
+
+int Communicator::node_of(int rank) const {
+  const int dpn = topology_.profile().devices_per_node;
+  if (dpn <= 0) return 0;
+  return devices_[static_cast<std::size_t>(rank)]->rank() / dpn;
+}
+
+SendvShape Communicator::sendv_shape(
+    const std::vector<std::span<const std::uint32_t>>& rows, std::int64_t d,
+    int root) const {
+  SendvShape shape;
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(d) * sizeof(float);
+  const int root_node = node_of(root);
+
+  int max_node = 0;
+  for (int r = 0; r < size(); ++r) max_node = std::max(max_node, node_of(r));
+  std::vector<std::uint64_t> node_row_sum(static_cast<std::size_t>(max_node) +
+                                          1);
+  std::vector<int> node_dests(static_cast<std::size_t>(max_node) + 1, 0);
+  std::vector<std::vector<int>> node_members(
+      static_cast<std::size_t>(max_node) + 1);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(r) == root || rows[r].empty()) continue;
+    const int node = node_of(static_cast<int>(r));
+    if (node == root_node) {
+      shape.intra_bytes += rows[r].size() * row_bytes;
+      ++shape.intra_messages;
+    } else {
+      node_row_sum[static_cast<std::size_t>(node)] += rows[r].size();
+      ++node_dests[static_cast<std::size_t>(node)];
+      node_members[static_cast<std::size_t>(node)].push_back(
+          static_cast<int>(r));
+    }
+  }
+
+  std::vector<std::uint32_t> merged;
+  for (int node = 0; node <= max_node; ++node) {
+    const auto n = static_cast<std::size_t>(node);
+    if (node_dests[n] == 0) continue;
+    std::uint64_t union_rows = 0;
+    if (node_dests[n] == 1) {
+      union_rows = rows[static_cast<std::size_t>(node_members[n][0])].size();
+    } else {
+      merged.clear();
+      for (int member : node_members[n]) {
+        const auto& list = rows[static_cast<std::size_t>(member)];
+        merged.insert(merged.end(), list.begin(), list.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      union_rows = static_cast<std::uint64_t>(
+          std::unique(merged.begin(), merged.end()) - merged.begin());
+      // Two or more destinations share the forwarded union: the node's
+      // local root redistributes everyone's slice over the intra fabric.
+      shape.scatter_bytes =
+          std::max(shape.scatter_bytes, node_row_sum[n] * row_bytes);
+    }
+    shape.inter_bytes += union_rows * row_bytes;
+    ++shape.inter_messages;
+  }
+  return shape;
+}
+
 std::vector<sim::Event> Communicator::sendv_rows(
     std::vector<RankPart> parts,
     std::vector<std::span<const std::uint32_t>> rows, std::int64_t d,
@@ -200,15 +276,12 @@ std::vector<sim::Event> Communicator::sendv_rows(
   }
 
   std::uint64_t total_rows = 0;
-  int messages = 0;
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    if (static_cast<int>(r) == root || rows[r].empty()) continue;
+    if (static_cast<int>(r) == root) continue;
     total_rows += rows[r].size();
-    ++messages;
   }
-  const std::uint64_t bytes =
-      total_rows * static_cast<std::uint64_t>(d) * sizeof(float);
-  const double duration = sendv_rows_seconds(bytes, messages);
+  const SendvShape shape = sendv_shape(rows, d, root);
+  const double duration = sendv_rows_seconds(shape);
 
   const float* src = parts[static_cast<std::size_t>(root)].buffer != nullptr
                          ? parts[static_cast<std::size_t>(root)].buffer->data()

@@ -37,6 +37,33 @@ struct RankPart {
   std::vector<sim::BufferAccess> writes;
 };
 
+/// A sendv payload classified by where it crosses: intra-node destinations
+/// (NVLink/NVSwitch) vs inter-node destinations (the root's NIC). Built by
+/// DistSpmm / the planner from the actual partition's ghost sets so stage
+/// pricing reflects the real cut, not a uniform-block assumption.
+/// Shape of one compacted (ghost-row) exchange, split by where each byte
+/// crosses. Inter-node traffic is node-aggregated: the root sends ONE
+/// message per remote node carrying the union of that node's destinations'
+/// ghost rows; the receiving node's local root then scatters each
+/// destination its slice over the intra-node fabric. `inter_bytes` /
+/// `inter_messages` therefore count per-node unions, and `scatter_bytes`
+/// is the worst remote node's redistribution volume (remote nodes scatter
+/// concurrently, so only the max is on the critical path).
+struct SendvShape {
+  std::uint64_t intra_bytes = 0;
+  int intra_messages = 0;
+  std::uint64_t inter_bytes = 0;
+  int inter_messages = 0;
+  std::uint64_t scatter_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return intra_bytes + inter_bytes;
+  }
+  [[nodiscard]] int messages() const {
+    return intra_messages + inter_messages;
+  }
+};
+
 struct CommOptions {
   /// Multiplier on every collective duration (models e.g. the older NCCL
   /// 2.4 CAGNET links against: efficiency below current NCCL).
@@ -97,6 +124,31 @@ class Communicator {
   /// paths with exactly the model the simulator will charge.
   [[nodiscard]] double sendv_rows_seconds(std::uint64_t total_bytes,
                                           int messages) const;
+
+  /// Node-aware variant: intra-node payload is priced at the intra-node
+  /// fabric bandwidth and inter-node payload at the NIC, draining
+  /// concurrently (Topology::sendv_split_seconds) plus the same root pack
+  /// cost. This is what sendv_rows itself charges; the two-argument
+  /// overload above keeps the single-fabric model for callers without a
+  /// destination split.
+  [[nodiscard]] double sendv_rows_seconds(const SendvShape& shape) const;
+
+  /// Classify a sendv_rows payload into its SendvShape under node
+  /// aggregation: same-node destinations each get their own message;
+  /// each remote node gets ONE message carrying the union of its
+  /// destinations' row lists (row lists must be ascending, as sendv_rows
+  /// requires); scatter_bytes is the largest per-node redistribution
+  /// volume among remote nodes with two or more destinations. This is the
+  /// single source of truth for both execution charging (sendv_rows) and
+  /// stage pricing (DistSpmm's dense-vs-compact selector).
+  [[nodiscard]] SendvShape sendv_shape(
+      const std::vector<std::span<const std::uint32_t>>& rows, std::int64_t d,
+      int root) const;
+
+  /// Node index of a communicator rank under the topology's
+  /// devices_per_node grouping (machine rank / devices_per_node; 0 when
+  /// the profile has no node structure).
+  [[nodiscard]] int node_of(int rank) const;
 
   /// Element-wise sum of all ranks' buffers, result visible on every rank
   /// (ring allreduce timing).

@@ -68,6 +68,30 @@ double Topology::sendv_seconds(std::uint64_t total_bytes, int messages,
          static_cast<double>(total_bytes) / group_bandwidth(group_size);
 }
 
+double Topology::sendv_split_seconds(std::uint64_t intra_bytes,
+                                     int intra_messages,
+                                     std::uint64_t inter_bytes,
+                                     int inter_messages,
+                                     int group_size,
+                                     std::uint64_t scatter_bytes) const {
+  const int messages = intra_messages + inter_messages;
+  if (group_size <= 1 || messages <= 0) return 0.0;
+  const int intra_group =
+      profile_.devices_per_node > 0
+          ? std::min(group_size, profile_.devices_per_node)
+          : group_size;
+  const double intra_bw = group_bandwidth(intra_group);
+  const double inter_bw =
+      profile_.devices_per_node > 0 && profile_.internode_bandwidth > 0.0
+          ? profile_.internode_bandwidth * profile_.efficiency
+          : group_bandwidth(group_size);
+  const double intra_beta = static_cast<double>(intra_bytes) / intra_bw;
+  const double inter_beta = static_cast<double>(inter_bytes) / inter_bw;
+  const double scatter_beta = static_cast<double>(scatter_bytes) / intra_bw;
+  return base_latency() * static_cast<double>(messages) +
+         std::max(intra_beta, inter_beta) + scatter_beta;
+}
+
 double Topology::allgather_seconds(std::uint64_t total_bytes,
                                    int group_size) const {
   if (group_size <= 1 || total_bytes == 0) return 0.0;

@@ -60,8 +60,33 @@ class Topology {
   [[nodiscard]] double sendv_seconds(std::uint64_t total_bytes, int messages,
                                      int group_size) const;
 
-  /// Fixed latency of any collective call (protocol setup).
-  [[nodiscard]] double base_latency() const { return 4e-6; }
+  /// sendv with the payload split by where it crosses: intra-node bytes
+  /// ride the NVLink/NVSwitch fabric at the intra-node group bandwidth
+  /// (no NIC clamp), inter-node bytes funnel through the root's NIC, and
+  /// the two streams drain concurrently (duration = max of the two beta
+  /// terms). With an empty inter bucket this reproduces sendv_seconds on a
+  /// single node exactly; on multi-node groups it replaces the
+  /// uniform-block assumption that priced *all* traffic at the clamped
+  /// NIC bandwidth — which is what lets a locality-aware partition's
+  /// mostly-intra-node ghost exchange actually get cheaper.
+  ///
+  /// `scatter_bytes` is the worst remote node's redistribution volume
+  /// under node-aggregated forwarding (the local root scatters the
+  /// forwarded union to its node's destinations over the intra fabric);
+  /// remote nodes scatter concurrently, so only the max is charged, as a
+  /// pipelined bulk transfer (per-destination setup hides under the NIC
+  /// stream).
+  [[nodiscard]] double sendv_split_seconds(std::uint64_t intra_bytes,
+                                           int intra_messages,
+                                           std::uint64_t inter_bytes,
+                                           int inter_messages,
+                                           int group_size,
+                                           std::uint64_t scatter_bytes
+                                           = 0) const;
+
+  /// Fixed latency of any collective call (protocol setup). Taken from the
+  /// profile so replica-scaled machines shrink it with their block sizes.
+  [[nodiscard]] double base_latency() const { return profile_.base_latency; }
 
  private:
   sim::InterconnectProfile profile_;

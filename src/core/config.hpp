@@ -6,28 +6,32 @@
 #include <vector>
 
 #include "comm/comm_mode.hpp"
+#include "core/part_mode.hpp"
 #include "core/plan_mode.hpp"
 
 namespace mggcn::core {
-
-/// How the 1D cut points are chosen (§5.2 discussion + ablation).
-enum class PartitionStrategy {
-  /// Uniform row blocks; combine with `permute` for balance (the paper).
-  kUniform,
-  /// nnz-balanced prefix cuts in the given vertex order (ablation
-  /// alternative; balances row nnz but not per-tile columns).
-  kBalancedNnz,
-};
 
 struct TrainConfig {
   /// Hidden layer widths; the full layer-dim chain is
   /// [feature_dim, hidden..., num_classes].
   std::vector<std::int64_t> hidden_dims = {512};
 
-  /// §5.2: random vertex permutation for tile load balance.
+  /// §5.2: random vertex permutation for tile load balance. Only consulted
+  /// by the `random` partitioner; the structured modes define their own
+  /// ordering.
   bool permute = true;
-  /// Cut-point selection for the 1D partition.
-  PartitionStrategy partition_strategy = PartitionStrategy::kUniform;
+  /// How the 1D vertex ordering + cut points are chosen: the paper's
+  /// random permutation, nnz-balanced prefix cuts, the locality-aware
+  /// min-cut partitioner, its hierarchical multi-node variant, or
+  /// cut-priced auto-selection (core/partitioner.hpp). Defaults to the
+  /// process-wide MGGCN_PART setting (read at config construction). All
+  /// modes train to the same optimum; losses differ only by the
+  /// floating-point reduction-order effect of reordering (the documented
+  /// §5.2 permutation effect).
+  PartMode part_mode = core::part_mode();
+  /// Balance slack for the locality/hier partitioners: a part's nnz may
+  /// exceed the mean by at most this factor.
+  double partition_slack = 1.15;
   /// §4.3: overlap broadcast i+1 with SpMM i using the BC2 double buffer.
   bool overlap = true;
   /// Exchange path of the staged SpMM: dense broadcast, compacted

@@ -79,6 +79,8 @@ struct StageChoice {
   /// Payload delivered to the receivers (compact: sum of ghost rows;
   /// dense: the full block per receiver).
   std::uint64_t wire_bytes = 0;
+  /// Portion of wire_bytes delivered to ranks on other nodes.
+  std::uint64_t inter_bytes = 0;
   /// What the dense broadcast would have delivered.
   std::uint64_t dense_bytes = 0;
   /// Non-empty per-destination payloads of the compact path.
@@ -193,28 +195,38 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     const std::uint64_t block_bytes =
         static_cast<std::uint64_t>(grid_.partition.size(s) * io.d) *
         sizeof(float);
+    int remote_receivers = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r != s && comm_.node_of(r) != comm_.node_of(s)) ++remote_receivers;
+    }
     choice.dense_bytes = static_cast<std::uint64_t>(p - 1) * block_bytes;
     choice.wire_bytes = choice.dense_bytes;
+    choice.inter_bytes =
+        static_cast<std::uint64_t>(remote_receivers) * block_bytes;
     choice.comm_seconds = comm_.topology().broadcast_seconds(block_bytes, p);
     if (!compact_capable) continue;
-    std::uint64_t payload = 0;
-    int messages = 0;
+    // The compacted payload is priced with the *actual* partition's ghost
+    // sets via the same node-aggregated shape the exchange itself charges:
+    // intra-node rows ride the NVLink fabric per destination, remote nodes
+    // each receive one unioned message over the NIC. A locality-aware cut
+    // thus directly cheapens the stage it improves.
+    std::vector<std::span<const std::uint32_t>> stage_rows(
+        static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
       if (r == s) continue;
-      const std::int64_t ghost =
+      stage_rows[static_cast<std::size_t>(r)] =
           plans[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)]
-              ->ghost_count();
-      if (ghost == 0) continue;
-      payload += static_cast<std::uint64_t>(ghost * io.d) * sizeof(float);
-      ++messages;
+              ->ghost_rows();
     }
-    const double compact_seconds = comm_.sendv_rows_seconds(payload, messages);
+    const comm::SendvShape shape = comm_.sendv_shape(stage_rows, io.d, s);
+    const double compact_seconds = comm_.sendv_rows_seconds(shape);
     if (mode_ == comm::CommMode::kCompact ||
         compact_seconds < choice.comm_seconds) {
       choice.compact = true;
       choice.comm_seconds = compact_seconds;
-      choice.wire_bytes = payload;
-      choice.messages = messages;
+      choice.wire_bytes = shape.total_bytes();
+      choice.inter_bytes = shape.inter_bytes;
+      choice.messages = shape.messages();
     }
   }
 
@@ -224,6 +236,7 @@ DistSpmm::Result DistSpmm::run(const Io& io) {
     sim::CommVolume volume;
     for (const StageChoice& choice : choices) {
       volume.wire_bytes += choice.wire_bytes;
+      volume.wire_bytes_inter += choice.inter_bytes;
       volume.dense_bytes += choice.dense_bytes;
       volume.packs += static_cast<std::uint64_t>(choice.messages);
       if (choice.compact) {

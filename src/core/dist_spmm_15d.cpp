@@ -113,6 +113,8 @@ DistSpmm15D::Result DistSpmm15D::run(const Io& io) {
   // stages, so the Planner's decisions are auditable in the same trace
   // fields as the 1D exchanges.
   sim::CommVolume volume;
+  const int dpn = machine_.profile().interconnect.devices_per_node;
+  auto node_of = [dpn](int rank) { return dpn > 0 ? rank / dpn : 0; };
 
   for (int t = 0; t < rounds; ++t) {
     for (int g = 0; g < kReplication; ++g) {
@@ -141,6 +143,13 @@ DistSpmm15D::Result DistSpmm15D::run(const Io& io) {
           static_cast<std::uint64_t>(count) * sizeof(float);
       volume.wire_bytes +=
           static_cast<std::uint64_t>(groups_ - 1) * block_bytes;
+      const int root_rank = g * groups_ + s;
+      for (int j = 0; j < groups_; ++j) {
+        const int rank = g * groups_ + j;
+        if (rank != root_rank && node_of(rank) != node_of(root_rank)) {
+          volume.wire_bytes_inter += block_bytes;
+        }
+      }
       volume.dense_bytes +=
           static_cast<std::uint64_t>(groups_ - 1) * block_bytes;
       ++volume.dense_stages;
@@ -199,6 +208,9 @@ DistSpmm15D::Result DistSpmm15D::run(const Io& io) {
     // Ring allreduce between the two replicas moves 2*(c-1)/c = 1x the
     // block per pair.
     volume.wire_bytes += block_bytes;
+    if (node_of(j) != node_of(groups_ + j)) {
+      volume.wire_bytes_inter += block_bytes;
+    }
     volume.dense_bytes += block_bytes;
     ++volume.dense_stages;
     std::vector<sim::Event> reduced =
@@ -330,9 +342,16 @@ DistResult DistSpmm15DChained::run(const DistIo& io) {
   ensure_partials(io.d);
 
   sim::CommVolume volume;
-  auto add_dense = [&volume](std::uint64_t bytes, int receivers) {
+  const int chain_dpn = machine_.profile().interconnect.devices_per_node;
+  auto chain_node_of = [chain_dpn](int rank) {
+    return chain_dpn > 0 ? rank / chain_dpn : 0;
+  };
+  auto add_dense = [&volume](std::uint64_t bytes, int receivers,
+                             int inter_receivers) {
     const std::uint64_t moved = bytes * static_cast<std::uint64_t>(receivers);
     volume.wire_bytes += moved;
+    volume.wire_bytes_inter +=
+        bytes * static_cast<std::uint64_t>(inter_receivers);
     volume.dense_bytes += moved;
     ++volume.dense_stages;
   };
@@ -407,7 +426,15 @@ DistResult DistSpmm15DChained::run(const DistIo& io) {
       }
       const auto count =
           static_cast<std::size_t>(grid_.partition.size(s) * io.d);
-      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), G - 1);
+      int inter_receivers = 0;
+      for (int j = 0; j < G; ++j) {
+        const int rank = lo + j;
+        if (rank != s && chain_node_of(rank) != chain_node_of(s)) {
+          ++inter_receivers;
+        }
+      }
+      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), G - 1,
+                inter_receivers);
       std::vector<sim::Event> bcast =
           group_comms_[lo == 0 ? 0 : 1]->broadcast(
               std::move(parts), count, s - lo, comm::StreamChoice::kComm, s);
@@ -454,7 +481,8 @@ DistResult DistSpmm15DChained::run(const DistIo& io) {
           stream_fence(machine_.device(G + j).compute_stream()));
       const auto count =
           static_cast<std::size_t>(grid_.partition.size(G + j) * io.d);
-      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1);
+      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1,
+                chain_node_of(j) != chain_node_of(G + j) ? 1 : 0);
       t1[lo] = pair.broadcast(std::move(parts), count, 0,
                               comm::StreamChoice::kComm);
     }
@@ -468,7 +496,8 @@ DistResult DistSpmm15DChained::run(const DistIo& io) {
       }
       const auto count =
           static_cast<std::size_t>(grid_.partition.size(j) * io.d);
-      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1);
+      add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1,
+                chain_node_of(j) != chain_node_of(G + j) ? 1 : 0);
       t2[lo] = pair.broadcast(std::move(parts), count, 0,
                               comm::StreamChoice::kComm);
     }
@@ -494,7 +523,8 @@ DistResult DistSpmm15DChained::run(const DistIo& io) {
     parts[1].waits.push_back(last[hi]);
     const auto count =
         static_cast<std::size_t>(grid_.partition.size(j) * io.d);
-    add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1);
+    add_dense(static_cast<std::uint64_t>(count) * sizeof(float), 1,
+              chain_node_of(j) != chain_node_of(G + j) ? 1 : 0);
     std::vector<sim::Event> t3 = pair_comms_[lo]->broadcast(
         std::move(parts), count, 1, comm::StreamChoice::kComm);
     // T3 lands C_j from the comm stream, but the trainer's downstream

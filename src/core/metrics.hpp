@@ -37,6 +37,10 @@ struct EpochStats {
   std::uint64_t comm_wire_bytes = 0;
   std::uint64_t comm_bytes_saved = 0;
   std::uint64_t comm_packs = 0;
+  /// Portion of comm_wire_bytes that crossed a node boundary (0 on
+  /// single-node machines) — the NIC traffic the hierarchical partitioner
+  /// minimizes first.
+  std::uint64_t comm_wire_bytes_inter = 0;
   int comm_compact_stages = 0;
   int comm_dense_stages = 0;
 
@@ -48,6 +52,16 @@ struct EpochStats {
   int plan_products_replicated = 0;
   int plan_decisions = 0;
   int plan_fallbacks = 0;
+
+  /// Cut quality of the active vertex ordering (core::PartitionCutStats of
+  /// the forward tiling, measured once at preprocessing and repeated in
+  /// every epoch's stats so bench rows stay self-contained).
+  std::int64_t part_cut_edges = 0;
+  std::int64_t part_inter_node_cut_edges = 0;
+  std::int64_t part_ghost_rows = 0;
+  std::int64_t part_inter_node_ghost_rows = 0;
+  double part_avg_ghost_density = 0.0;
+  double part_imbalance = 1.0;
 };
 
 }  // namespace mggcn::core

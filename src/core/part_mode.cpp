@@ -1,0 +1,62 @@
+#include "core/part_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+namespace {
+
+PartMode mode_from_env() {
+  const char* env = std::getenv("MGGCN_PART");
+  if (env == nullptr || *env == '\0') return PartMode::kRandom;
+  const auto parsed = parse_part_mode(env);
+  MGGCN_CHECK_MSG(parsed.has_value(),
+                  std::string("MGGCN_PART must be 'random', 'balanced', "
+                              "'locality', 'hier', or 'auto', got '") +
+                      env + "'");
+  return *parsed;
+}
+
+std::atomic<PartMode>& active_mode() {
+  static std::atomic<PartMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+const char* part_mode_name(PartMode mode) {
+  switch (mode) {
+    case PartMode::kRandom:
+      return "random";
+    case PartMode::kBalanced:
+      return "balanced";
+    case PartMode::kLocality:
+      return "locality";
+    case PartMode::kHier:
+      return "hier";
+    case PartMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<PartMode> parse_part_mode(std::string_view name) {
+  if (name == "random") return PartMode::kRandom;
+  if (name == "balanced") return PartMode::kBalanced;
+  if (name == "locality") return PartMode::kLocality;
+  if (name == "hier") return PartMode::kHier;
+  if (name == "auto") return PartMode::kAuto;
+  return std::nullopt;
+}
+
+PartMode part_mode() { return active_mode().load(std::memory_order_relaxed); }
+
+void set_part_mode(PartMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::core

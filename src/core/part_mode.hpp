@@ -1,0 +1,81 @@
+// Partitioner registry: how the 1D vertex ordering and cut points are
+// chosen.
+//
+// The paper's §5.2 answer is a random permutation with uniform cuts — it
+// buys nnz balance by deliberately destroying locality, which is exactly
+// the wrong trade once communication dominates (our compacted-exchange
+// bench shows permutation densifies the ghost sets). The registry mirrors
+// comm/comm_mode.hpp and core/plan_mode.hpp:
+//
+//   - `random` (default): §5.2 — random permutation (when
+//                 TrainConfig::permute) + uniform cuts, the paper's
+//                 behaviour.
+//   - `balanced`: natural vertex order with nnz-balanced prefix cuts
+//                 (the ablation alternative previously behind
+//                 TrainConfig::partition_strategy).
+//   - `locality`: multi-level coarsen -> greedy/label-propagation refine ->
+//                 balanced-split pipeline minimizing edge cut under the
+//                 configurable balance slack (core/partitioner.hpp).
+//   - `hier`:     the hierarchical variant for multi-node profiles:
+//                 minimize inter-node cut first, intra-node cut second.
+//   - `auto`:     price the random and locality/hier candidates with the
+//                 partition's actual ghost-row volume (inter-node rows
+//                 weighted by the NVLink/NIC bandwidth ratio) and keep the
+//                 cheaper one — never worse than `random` under the model.
+//
+// Any mode trains to the same optimum; losses differ only by the
+// floating-point reduction-order effect any reordering has (the documented
+// §5.2 permutation effect). Within one mode, training is bit-deterministic.
+//
+// set_part_mode() installs a mode programmatically; the MGGCN_PART
+// environment variable ("random" | "balanced" | "locality" | "hier" |
+// "auto") is read once at first use and an unknown value fails loudly, so
+// experiment-script typos do not silently change the partitioner under
+// study.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mggcn::core {
+
+enum class PartMode {
+  kRandom = 0,
+  kBalanced = 1,
+  kLocality = 2,
+  kHier = 3,
+  kAuto = 4,
+};
+
+inline constexpr int kNumPartModes = 5;
+
+/// Stable lower-case name ("random" | "balanced" | "locality" | "hier" |
+/// "auto") for logs, CLI, and JSON.
+[[nodiscard]] const char* part_mode_name(PartMode mode);
+
+/// Parses a mode name; nullopt when unknown.
+[[nodiscard]] std::optional<PartMode> parse_part_mode(std::string_view name);
+
+/// The active mode. Defaults to kRandom (the paper's behaviour),
+/// overridable once via the MGGCN_PART environment variable; throws
+/// InvalidArgumentError on an unknown MGGCN_PART value.
+[[nodiscard]] PartMode part_mode();
+
+/// Installs `mode` as the active mode (e.g. from a --part CLI flag).
+void set_part_mode(PartMode mode);
+
+/// RAII mode override for tests and benches that diff the partitioners.
+class ScopedPartMode {
+ public:
+  explicit ScopedPartMode(PartMode mode) : previous_(part_mode()) {
+    set_part_mode(mode);
+  }
+  ~ScopedPartMode() { set_part_mode(previous_); }
+  ScopedPartMode(const ScopedPartMode&) = delete;
+  ScopedPartMode& operator=(const ScopedPartMode&) = delete;
+
+ private:
+  PartMode previous_;
+};
+
+}  // namespace mggcn::core

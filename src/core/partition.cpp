@@ -67,13 +67,14 @@ int PartitionVector::part_of(std::int64_t v) const {
 }
 
 const sparse::SpmmPlan& TileGrid::plan(int i, int j) const {
-  if (plans_.empty()) {
-    plans_.resize(tiles.size());
+  auto& slots = plans_->slots;
+  if (slots.empty()) {
+    slots.resize(tiles.size());
     for (std::size_t r = 0; r < tiles.size(); ++r) {
-      plans_[r].resize(tiles[r].size());
+      slots[r].resize(tiles[r].size());
     }
   }
-  auto& slot = plans_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  auto& slot = slots[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
   if (slot == nullptr || !slot->matches(tile(i, j))) {
     slot = std::make_shared<const sparse::SpmmPlan>(
         sparse::SpmmPlan::inspect(tile(i, j)));
@@ -82,9 +83,10 @@ const sparse::SpmmPlan& TileGrid::plan(int i, int j) const {
 }
 
 bool TileGrid::plan_ready(int i, int j) const {
-  if (plans_.empty()) return false;
+  const auto& slots = plans_->slots;
+  if (slots.empty()) return false;
   const auto& slot =
-      plans_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      slots[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
   return slot != nullptr && slot->matches(tile(i, j));
 }
 

@@ -71,11 +71,12 @@ struct TileGrid {
 
   /// The tiles are static for an entire training run, so the grid owns one
   /// lazily-built SpmmPlan per tile: plan(i, j) inspects tile (i, j) on
-  /// first call and returns the cached plan thereafter. Plans are shared
-  /// between copies of the grid made *after* they were built; copies made
-  /// earlier inspect independently. Lazy building is not thread-safe —
-  /// DistSpmm resolves plans on the enqueue thread, never inside stream
-  /// worker bodies.
+  /// first call and returns the cached plan thereafter. The cache itself
+  /// lives behind a shared_ptr created at construction, so *every* copy of
+  /// a grid — whenever it was made — sees plans built through any other
+  /// copy, and plan_ready()/the one-time kInspect charge stay consistent
+  /// across copies. Lazy building is not thread-safe — DistSpmm resolves
+  /// plans on the enqueue thread, never inside stream worker bodies.
   [[nodiscard]] const sparse::SpmmPlan& plan(int i, int j) const;
   /// Whether plan(i, j) has already been built (i.e. whether the next
   /// plan(i, j) call is free) — lets callers charge the one-time inspector
@@ -88,9 +89,12 @@ struct TileGrid {
   [[nodiscard]] double imbalance() const;
 
  private:
-  /// [row_part][col_part], sized on first use; null until built.
-  mutable std::vector<std::vector<std::shared_ptr<const sparse::SpmmPlan>>>
-      plans_;
+  struct PlanCache {
+    /// [row_part][col_part], sized on first use; null until built.
+    std::vector<std::vector<std::shared_ptr<const sparse::SpmmPlan>>> slots;
+  };
+  /// Shared (not deep-copied) between copies of the grid — see plan().
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
 };
 
 /// Cuts `matrix` into parts x parts tiles with the symmetric partition.

@@ -1,0 +1,110 @@
+// Locality-aware 1D partitioner (the alternative to §5.2's random
+// permutation).
+//
+// MG-GCN balances nnz by randomly permuting vertices, which destroys
+// whatever community structure the graph had and densifies every
+// off-diagonal tile's ghost set. plan_partition() instead computes a
+// vertex *reordering* plus cut points that minimize the edge cut under a
+// configurable balance slack, using the classic multi-level scheme
+// (pure C++, no METIS):
+//
+//   coarsen:  heavy-edge matching until the graph is small,
+//   initial:  greedy graph growing on the coarsest level,
+//   refine:   balance-constrained label-propagation sweeps at every level
+//             while uncoarsening, plus a final balance-repair pass.
+//
+// The hierarchical mode runs the same pipeline twice for multi-node
+// machines: first across nodes (minimizing the expensive inter-node cut),
+// then across the devices inside each node — parts stay grouped
+// node-contiguously so rank r lives on node r / devices_per_node, exactly
+// the mapping comm::Communicator::node_of uses to price the exchange.
+//
+// Everything downstream consumes the result through the existing
+// (perm, PartitionVector) contract: perm relabels the adjacency
+// symmetrically (new id = perm[old id]), the partition's cut points fall
+// on part boundaries of the reordering, and part k's vertices keep their
+// original relative order (deterministic, and cache-friendly within a
+// block).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/part_mode.hpp"
+#include "core/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace mggcn::core {
+
+struct PartitionerOptions {
+  /// Number of parts (devices).
+  int parts = 1;
+  /// Balance slack: each part's vertex weight (degree + 1, the tile-row
+  /// nnz proxy) may exceed the mean by at most this factor.
+  double slack = 1.15;
+  /// Devices per node of the target machine; > 0 and < parts enables the
+  /// hierarchical mode and splits the cut statistics into intra-/inter-node.
+  int devices_per_node = 0;
+  /// kRandom only: permute (the paper's §5.2 behaviour) or keep the
+  /// natural order. Mirrors TrainConfig::permute.
+  bool permute_random = true;
+  /// kAuto only: relative cost of an inter-node ghost row vs an intra-node
+  /// one (the NVLink/NIC bandwidth ratio); >= 1.
+  double inter_node_cost = 1.0;
+  /// Seeds the permutation (kRandom) and the coarsening/refinement visit
+  /// orders; same seed => bit-identical result.
+  std::uint64_t seed = 1;
+  /// Label-propagation sweeps per level.
+  int refine_sweeps = 6;
+};
+
+struct PartitionResult {
+  /// original vertex id -> new vertex id (the trainer's perm_ convention).
+  std::vector<std::uint32_t> perm;
+  /// Cut points in the new order.
+  PartitionVector partition;
+  /// The mode that actually produced the result (kAuto resolves to its
+  /// winning candidate, kHier on a single node resolves to kLocality).
+  PartMode mode = PartMode::kRandom;
+};
+
+/// Cut quality of a (perm, partition) pair — the quantities the comm cost
+/// model prices. ghost_rows is the total compacted-exchange row count:
+/// summed over off-diagonal tiles (r, s), the number of distinct columns of
+/// part s that part r's rows touch (== SpmmPlan::ghost_count of that tile).
+struct PartitionCutStats {
+  std::int64_t cut_edges = 0;             // nnz in off-diagonal tiles
+  std::int64_t inter_node_cut_edges = 0;  // ... whose parts sit on
+                                          // different nodes
+  std::int64_t ghost_rows = 0;
+  std::int64_t inter_node_ghost_rows = 0;
+  /// Mean over off-diagonal tiles (r, s) of ghost(r, s) / |part s|: 1.0 is
+  /// a fully dense exchange (compaction saves nothing), 0.0 is no exchange.
+  double avg_ghost_density = 0.0;
+  /// max over parts of row-nnz / mean row-nnz (Fig. 6's quantity).
+  double imbalance = 1.0;
+};
+
+/// Computes the reordering + cut points for `mode` over a symmetric
+/// adjacency matrix (raw, pre-normalization). parts == 1 or an empty graph
+/// yields the identity. kAuto prices the random candidate against the
+/// locality/hier candidate with the actual ghost-row volumes (inter-node
+/// rows weighted by options.inter_node_cost) and returns the cheaper one.
+[[nodiscard]] PartitionResult plan_partition(const sparse::Csr& adjacency,
+                                             PartMode mode,
+                                             const PartitionerOptions& options);
+
+/// Cut statistics of (perm, partition) measured against `adjacency`
+/// (original vertex order; perm maps original -> new ids).
+[[nodiscard]] PartitionCutStats partition_cut_stats(
+    const sparse::Csr& adjacency, std::span<const std::uint32_t> perm,
+    const PartitionVector& partition, int devices_per_node);
+
+/// The same statistics recounted from an already-built tile grid (the
+/// inspector's view of the reordered operator). Deliberately does not call
+/// TileGrid::plan(), so the one-time kInspect charge stays with DistSpmm.
+[[nodiscard]] PartitionCutStats grid_cut_stats(const TileGrid& grid,
+                                               int devices_per_node);
+
+}  // namespace mggcn::core

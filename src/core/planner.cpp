@@ -78,12 +78,22 @@ DistResult ReplicatedSpmm::run(const DistIo& io) {
   const std::int64_t n = part.total();
 
   // One allgather delivers what p-1 dense broadcasts would have; there is
-  // nothing to compact, so wire == dense.
+  // nothing to compact, so wire == dense. Each source block reaches every
+  // rank on another node once — that share is the inter-node traffic.
   {
     sim::CommVolume volume;
     volume.wire_bytes =
         static_cast<std::uint64_t>(p - 1) *
         static_cast<std::uint64_t>(n * io.d) * sizeof(float);
+    for (int s = 0; s < p; ++s) {
+      int remote = 0;
+      for (int r = 0; r < p; ++r) {
+        if (r != s && comm_.node_of(r) != comm_.node_of(s)) ++remote;
+      }
+      volume.wire_bytes_inter +=
+          static_cast<std::uint64_t>(remote) *
+          static_cast<std::uint64_t>(part.size(s) * io.d) * sizeof(float);
+    }
     volume.dense_bytes = volume.wire_bytes;
     volume.dense_stages = 1;
     machine_.trace().record_comm_volume(volume);
@@ -199,12 +209,35 @@ Planner::Planner(sim::Machine& machine, comm::Communicator& comm,
   ghost_cols_.assign(static_cast<std::size_t>(p),
                      std::vector<std::int64_t>(static_cast<std::size_t>(p),
                                                -1));
+  int nodes = 1;
+  for (int r = 0; r < p; ++r) nodes = std::max(nodes, comm_.node_of(r) + 1);
+  node_ghost_cols_.assign(
+      static_cast<std::size_t>(nodes),
+      std::vector<std::int64_t>(static_cast<std::size_t>(p), -1));
 }
 
 std::int64_t Planner::ghost_cols(int r, int s) const {
   std::int64_t& cached =
       ghost_cols_[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)];
   if (cached < 0) cached = sparse::count_distinct_cols(grid().tile(r, s));
+  return cached;
+}
+
+std::int64_t Planner::node_ghost_cols(int node, int s) const {
+  std::int64_t& cached =
+      node_ghost_cols_[static_cast<std::size_t>(node)]
+                      [static_cast<std::size_t>(s)];
+  if (cached < 0) {
+    std::vector<std::uint8_t> seen(
+        static_cast<std::size_t>(partition().size(s)), 0);
+    for (int r = 0; r < parts(); ++r) {
+      if (r == s || comm_.node_of(r) != node) continue;
+      for (const std::uint32_t c : grid().tile(r, s).col_idx()) seen[c] = 1;
+    }
+    std::int64_t distinct = 0;
+    for (const std::uint8_t flag : seen) distinct += flag;
+    cached = distinct;
+  }
   return cached;
 }
 
@@ -244,17 +277,43 @@ double Planner::est_1d(std::int64_t d, bool overlap,
         static_cast<std::uint64_t>(partition().size(s) * d) * sizeof(float);
     double seconds = comm_.topology().broadcast_seconds(block_bytes, p);
     if (compact_capable) {
-      std::uint64_t payload = 0;
-      int messages = 0;
+      // Same node-aggregated pricing as DistSpmm's StageChoice (which
+      // defers to Communicator::sendv_shape): per-destination messages on
+      // the root's node, one unioned message per remote node, scatter on
+      // the worst remote node with several destinations.
+      comm::SendvShape shape;
+      const int root_node = comm_.node_of(s);
+      const std::size_t num_nodes = node_ghost_cols_.size();
+      std::vector<std::uint64_t> node_dest_bytes(num_nodes, 0);
+      std::vector<int> node_dests(num_nodes, 0);
       for (int r = 0; r < p; ++r) {
         if (r == s) continue;
         const std::int64_t ghost = ghost_cols(r, s);
         if (ghost == 0) continue;
-        payload += static_cast<std::uint64_t>(ghost * d) * sizeof(float);
-        ++messages;
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(ghost * d) * sizeof(float);
+        const int node = comm_.node_of(r);
+        if (node != root_node) {
+          node_dest_bytes[static_cast<std::size_t>(node)] += bytes;
+          ++node_dests[static_cast<std::size_t>(node)];
+        } else {
+          shape.intra_bytes += bytes;
+          ++shape.intra_messages;
+        }
       }
-      const double compact_seconds =
-          comm_.sendv_rows_seconds(payload, messages);
+      for (std::size_t node = 0; node < num_nodes; ++node) {
+        if (node_dests[node] == 0) continue;
+        shape.inter_bytes +=
+            static_cast<std::uint64_t>(
+                node_ghost_cols(static_cast<int>(node), s) * d) *
+            sizeof(float);
+        ++shape.inter_messages;
+        if (node_dests[node] >= 2) {
+          shape.scatter_bytes =
+              std::max(shape.scatter_bytes, node_dest_bytes[node]);
+        }
+      }
+      const double compact_seconds = comm_.sendv_rows_seconds(shape);
       if (comm_mode_ == comm::CommMode::kCompact ||
           compact_seconds < seconds) {
         compact[static_cast<std::size_t>(s)] = true;

@@ -148,6 +148,10 @@ class Planner {
   /// lazy build would suppress the one-time inspector charge DistSpmm
   /// places on the timeline at first use.
   [[nodiscard]] std::int64_t ghost_cols(int r, int s) const;
+  /// Cached distinct-column count of stage s's block across every tile
+  /// (r, s) with r on `node` — the unioned payload one node-aggregated
+  /// inter message to that node carries (see Communicator::sendv_shape).
+  [[nodiscard]] std::int64_t node_ghost_cols(int node, int s) const;
   PlanMode decide(const DistIo& io);
 
   sim::Machine& machine_;
@@ -159,6 +163,7 @@ class Planner {
   std::unique_ptr<ReplicatedSpmm> exec_replicated_;    // when p > 1
   bool accounted_15d_ = false;
   mutable std::vector<std::vector<std::int64_t>> ghost_cols_;
+  mutable std::vector<std::vector<std::int64_t>> node_ghost_cols_;
   std::map<std::pair<std::int64_t, bool>, PlanMode> decisions_;
 };
 

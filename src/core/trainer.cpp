@@ -95,22 +95,37 @@ void MgGcnTrainer::build_plan() {
 void MgGcnTrainer::preprocess(const graph::Dataset& dataset) {
   const std::int64_t n = dataset.n();
   const int p = machine_.num_devices();
+  const sim::InterconnectProfile& inter = machine_.profile().interconnect;
 
-  // §5.2: random vertex permutation for nnz balance (identity otherwise).
-  util::Rng rng(config_.seed ^ 0xabcdef12345ULL);
-  if (config_.permute) {
-    perm_ = rng.permutation<std::uint32_t>(static_cast<std::size_t>(n));
-  } else {
-    perm_.resize(static_cast<std::size_t>(n));
-    std::iota(perm_.begin(), perm_.end(), 0u);
+  // Vertex ordering + cut points through the partitioner registry: §5.2's
+  // random permutation (the default, bit-identical to the historical
+  // path), nnz-balanced prefix cuts, or the locality-aware/hierarchical
+  // min-cut modes. kAuto's inter-node ghost-row weight is the ratio
+  // between the intra-node fabric and the NIC, i.e. how much more a
+  // cross-node row costs under the comm model.
+  PartitionerOptions popt;
+  popt.parts = p;
+  popt.slack = config_.partition_slack;
+  popt.permute_random = config_.permute;
+  popt.seed = config_.seed ^ 0xabcdef12345ULL;
+  popt.devices_per_node = inter.devices_per_node;
+  if (inter.devices_per_node > 0 && p > inter.devices_per_node &&
+      inter.internode_bandwidth > 0.0) {
+    const comm::Topology topo(inter);
+    popt.inter_node_cost =
+        std::max(1.0, topo.group_bandwidth(inter.devices_per_node) /
+                          (inter.internode_bandwidth * inter.efficiency));
   }
+  PartitionResult part =
+      plan_partition(dataset.adjacency, config_.part_mode, popt);
+  perm_ = std::move(part.perm);
+  partition_ = std::move(part.partition);
+  part_mode_used_ = part.mode;
 
-  sparse::Csr adj = config_.permute
-                        ? dataset.adjacency.permute_symmetric(perm_)
-                        : dataset.adjacency;
-  partition_ = config_.partition_strategy == PartitionStrategy::kBalancedNnz
-                   ? PartitionVector::balanced_nnz(adj, p)
-                   : PartitionVector::uniform(n, p);
+  const bool identity_perm = std::is_sorted(perm_.begin(), perm_.end());
+  const sparse::Csr adj = identity_perm
+                              ? dataset.adjacency
+                              : dataset.adjacency.permute_symmetric(perm_);
   const sparse::Csr a_hat = adj.normalize_gcn();       // Â (eq. (2))
   const sparse::Csr a_hat_t = a_hat.transpose();       // Â^T (forward op)
 
@@ -122,6 +137,8 @@ void MgGcnTrainer::preprocess(const graph::Dataset& dataset) {
       config_.plan_mode, config_.comm_mode);
   forward_planner_->account_memory();
   backward_planner_->account_memory();
+  part_stats_ =
+      grid_cut_stats(forward_planner_->grid(), inter.devices_per_node);
 }
 
 void MgGcnTrainer::allocate_buffers() {
@@ -608,6 +625,8 @@ EpochStats MgGcnTrainer::train_epoch() {
       sim::FaultEventKind::kCommRetry, stats.epoch));
   const sim::CommVolume volume = machine_.trace().comm_volume();
   stats.comm_wire_bytes = volume.wire_bytes - volume_mark.wire_bytes;
+  stats.comm_wire_bytes_inter =
+      volume.wire_bytes_inter - volume_mark.wire_bytes_inter;
   stats.comm_bytes_saved =
       volume.bytes_saved() - volume_mark.bytes_saved();
   stats.comm_packs = volume.packs - volume_mark.packs;
@@ -626,6 +645,12 @@ EpochStats MgGcnTrainer::train_epoch() {
       static_cast<int>(plans.decisions - plan_mark.decisions);
   stats.plan_fallbacks =
       static_cast<int>(plans.fallbacks - plan_mark.fallbacks);
+  stats.part_cut_edges = part_stats_.cut_edges;
+  stats.part_inter_node_cut_edges = part_stats_.inter_node_cut_edges;
+  stats.part_ghost_rows = part_stats_.ghost_rows;
+  stats.part_inter_node_ghost_rows = part_stats_.inter_node_ghost_rows;
+  stats.part_avg_ghost_density = part_stats_.avg_ghost_density;
+  stats.part_imbalance = part_stats_.imbalance;
   double loss = 0.0;
   std::int64_t correct = 0;
   std::int64_t counted = 0;

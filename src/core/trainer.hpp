@@ -30,6 +30,7 @@
 #include "core/gcn_kernels.hpp"
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
+#include "core/partitioner.hpp"
 #include "dense/matrix.hpp"
 #include "graph/datasets.hpp"
 #include "sim/machine.hpp"
@@ -95,6 +96,14 @@ class MgGcnTrainer {
     return partition_;
   }
   [[nodiscard]] const TrainConfig& config() const { return config_; }
+  /// The partitioner mode that actually produced the active ordering
+  /// (config().part_mode with kAuto resolved to its winning candidate).
+  [[nodiscard]] PartMode part_mode_used() const { return part_mode_used_; }
+  /// Cut quality of the active ordering, measured once at preprocessing
+  /// from the forward tiling (also repeated in every EpochStats).
+  [[nodiscard]] const PartitionCutStats& partition_stats() const {
+    return part_stats_;
+  }
   /// nnz imbalance ratio of the forward tiling (Fig. 6's quantity).
   [[nodiscard]] double tile_imbalance() const;
   /// Host seconds spent in preprocessing (permute/normalize/tile).
@@ -155,6 +164,8 @@ class MgGcnTrainer {
 
   PartitionVector partition_;
   std::vector<std::uint32_t> perm_;  // original -> permuted vertex id
+  PartMode part_mode_used_ = PartMode::kRandom;
+  PartitionCutStats part_stats_;
   std::unique_ptr<comm::Communicator> comm_;
   std::unique_ptr<Planner> forward_planner_;   // tiles of Â^T
   std::unique_ptr<Planner> backward_planner_;  // tiles of Â

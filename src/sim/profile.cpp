@@ -102,6 +102,7 @@ MachineProfile scale_profile(MachineProfile profile, double scale,
   profile.device.l2_bytes = static_cast<std::uint64_t>(
       static_cast<double>(profile.device.l2_bytes) / scale);
   profile.device.kernel_launch_overhead /= scale;
+  profile.interconnect.base_latency /= scale;
   return profile;
 }
 

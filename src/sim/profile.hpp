@@ -61,6 +61,13 @@ struct InterconnectProfile {
   int devices_per_node = 0;
   double internode_bandwidth = 0.0;
 
+  /// Fixed per-message latency of any collective call (protocol setup).
+  /// An extensive quantity under the replica-scaling methodology: blocks
+  /// shrink by the scale factor, so the latency must shrink with them or
+  /// replica-scale simulations would be alpha-bound in configurations the
+  /// full-scale machine is not (see sim::scale_profile).
+  double base_latency = 4e-6;
+
   /// Aggregate one-direction bandwidth available to a collective rooted at
   /// a single device: the paper's own model (§5.1) uses
   /// links_per_device * link_bandwidth.

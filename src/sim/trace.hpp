@@ -76,6 +76,9 @@ struct HazardRecord {
 struct CommVolume {
   /// Bytes actually moved over the interconnect.
   std::uint64_t wire_bytes = 0;
+  /// Portion of wire_bytes that crossed a node boundary (0 on single-node
+  /// machines).
+  std::uint64_t wire_bytes_inter = 0;
   /// Bytes the same stages would have moved as full-block broadcasts.
   std::uint64_t dense_bytes = 0;
   /// Per-destination pack operations performed by compacted exchanges.
@@ -91,6 +94,7 @@ struct CommVolume {
 
   CommVolume& operator+=(const CommVolume& o) {
     wire_bytes += o.wire_bytes;
+    wire_bytes_inter += o.wire_bytes_inter;
     dense_bytes += o.dense_bytes;
     packs += o.packs;
     compact_stages += o.compact_stages;
