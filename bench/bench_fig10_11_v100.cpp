@@ -18,9 +18,8 @@ using namespace mggcn;
 
 int main(int argc, char** argv) {
   util::CliParser cli("Figs. 10-11 reproduction: DGX-V100 comparison");
-  cli.option("datasets", "Cora,Arxiv,Products,Proteins,Reddit", "datasets");
+  bench::add_dataset_options(cli, "Cora,Arxiv,Products,Proteins,Reddit");
   cli.option("gpus", "1,2,4,8", "GPU counts");
-  cli.option("scale", "0", "replica scale override (0 = default)");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.help();
@@ -38,10 +37,8 @@ int main(int argc, char** argv) {
 
   const auto gpu_list = cli.get_int_list("gpus");
   for (const auto& name : cli.get_list("datasets")) {
-    const graph::DatasetSpec spec = graph::dataset_by_name(name);
-    const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
-                                                     : bench::default_scale(spec);
-    const graph::Dataset ds = bench::load_replica(spec, scale);
+    const graph::Dataset ds = bench::load_cli_replica(cli, name);
+    const graph::DatasetSpec& spec = ds.spec;
     const sim::MachineProfile profile = sim::dgx_v100();
 
     std::map<std::pair<bench::System, int>, bench::EpochResult> results;

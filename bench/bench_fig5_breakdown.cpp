@@ -18,11 +18,8 @@ using namespace mggcn;
 int main(int argc, char** argv) {
   util::CliParser cli(
       "Fig. 5 reproduction: per-operation runtime breakdown (DGX-V100)");
-  cli.option("datasets", "Cora,Arxiv,Products,Proteins,Reddit",
-             "comma-separated dataset names");
+  bench::add_dataset_options(cli, "Cora,Arxiv,Products,Proteins,Reddit");
   cli.option("gpus", "1,2,4,8", "GPU counts");
-  cli.option("scale", "0", "replica scale override (0 = per-dataset default)");
-  cli.option("json", "", "write results to this JSON file");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.help();
@@ -39,10 +36,8 @@ int main(int argc, char** argv) {
   bool first_row = true;
 
   for (const auto& name : cli.get_list("datasets")) {
-    const graph::DatasetSpec spec = graph::dataset_by_name(name);
-    const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
-                                                     : bench::default_scale(spec);
-    const graph::Dataset ds = bench::load_replica(spec, scale);
+    const graph::Dataset ds = bench::load_cli_replica(cli, name);
+    const graph::DatasetSpec& spec = ds.spec;
     const sim::MachineProfile profile = sim::dgx_v100();
     std::cout << "  [" << spec.name << " replica: n=" << ds.n()
               << " nnz=" << ds.nnz() << " scale=1/" << ds.scale << "]\n";
@@ -89,16 +84,5 @@ int main(int argc, char** argv) {
 
   std::cout << '\n' << table.to_string() << '\n';
 
-  const std::string json_path = cli.get("json");
-  if (!json_path.empty()) {
-    std::ofstream os(json_path);
-    os << "{\n  \"bench\": \"fig5_breakdown\",\n  \"rows\": [\n"
-       << json_rows.str() << "\n  ]\n}\n";
-    if (!os.good()) {
-      std::cerr << "error: could not write " << json_path << '\n';
-      return 1;
-    }
-    std::cout << "wrote " << json_path << '\n';
-  }
-  return 0;
+  return bench::write_json(cli, "fig5_breakdown", json_rows.str()) ? 0 : 1;
 }

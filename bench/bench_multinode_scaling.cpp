@@ -142,16 +142,5 @@ int main(int argc, char** argv) {
                "bytes, hier folds the remaining cut onto intra-node links, "
                "and auto must match the winner.)\n";
 
-  const std::string json_path = cli.get("json");
-  if (!json_path.empty()) {
-    std::ofstream os(json_path);
-    os << "{\n  \"bench\": \"multinode_scaling\",\n  \"rows\": [\n"
-       << json_rows.str() << "\n  ]\n}\n";
-    if (!os) {
-      std::cerr << "error: could not write " << json_path << '\n';
-      return 1;
-    }
-    std::cout << "\nJSON written to " << json_path << '\n';
-  }
-  return 0;
+  return bench::write_json(cli, "multinode_scaling", json_rows.str()) ? 0 : 1;
 }

@@ -143,16 +143,5 @@ int main(int argc, char** argv) {
                "the non-1d wins concentrate on small launch-bound graphs "
                "and NIC-bound clusters)\n";
 
-  const std::string json_path = cli.get("json");
-  if (!json_path.empty()) {
-    std::ofstream os(json_path);
-    os << "{\n  \"bench\": \"planner\",\n  \"rows\": [\n"
-       << json_rows.str() << "\n  ]\n}\n";
-    if (!os.good()) {
-      std::cerr << "error: could not write " << json_path << '\n';
-      return 1;
-    }
-    std::cout << "wrote " << json_path << '\n';
-  }
-  return 0;
+  return bench::write_json(cli, "planner", json_rows.str()) ? 0 : 1;
 }

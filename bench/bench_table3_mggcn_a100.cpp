@@ -26,9 +26,8 @@ core::TrainConfig model_for(const std::string& dataset) {
 
 int main(int argc, char** argv) {
   util::CliParser cli("Table 3 reproduction: MG-GCN on DGX-A100");
-  cli.option("datasets", "Reddit,Papers,Products,Proteins", "datasets");
+  bench::add_dataset_options(cli, "Reddit,Papers,Products,Proteins");
   cli.option("gpus", "1,2,4,8", "GPU counts");
-  cli.option("scale", "0", "replica scale override (0 = default)");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.help();
@@ -47,10 +46,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> columns;
   for (const auto& name : cli.get_list("datasets")) {
-    const graph::DatasetSpec spec = graph::dataset_by_name(name);
-    const double scale = cli.get_double("scale") > 0 ? cli.get_double("scale")
-                                                     : bench::default_scale(spec);
-    const graph::Dataset ds = bench::load_replica(spec, scale);
+    const graph::Dataset ds = bench::load_cli_replica(cli, name);
+    const graph::DatasetSpec& spec = ds.spec;
     const sim::MachineProfile profile = sim::dgx_a100();
 
     std::vector<std::string> column;

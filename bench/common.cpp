@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -57,6 +58,40 @@ graph::Dataset load_replica(const graph::DatasetSpec& spec, double scale,
   ds = graph::make_dataset(spec, options);
   if (!ec) sparse::write_csr(ds.adjacency, path.string());
   return ds;
+}
+
+void add_dataset_options(util::CliParser& cli,
+                         const std::string& default_datasets) {
+  cli.option("datasets", default_datasets, "datasets");
+  cli.option("scale", "0", "replica scale override (0 = per-dataset default)");
+  cli.option("json", "", "write results to this JSON file");
+}
+
+double resolved_scale(const util::CliParser& cli,
+                      const graph::DatasetSpec& spec) {
+  const double requested = cli.get_double("scale");
+  return requested > 0 ? requested : default_scale(spec);
+}
+
+graph::Dataset load_cli_replica(const util::CliParser& cli,
+                                const std::string& name) {
+  const graph::DatasetSpec spec = graph::dataset_by_name(name);
+  return load_replica(spec, resolved_scale(cli, spec));
+}
+
+bool write_json(const util::CliParser& cli, const std::string& bench_name,
+                const std::string& rows) {
+  const std::string path = cli.get("json");
+  if (path.empty()) return true;
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"rows\": [\n"
+     << rows << "\n  ]\n}\n";
+  if (!os.good()) {
+    std::cerr << "error: could not write " << path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << path << '\n';
+  return true;
 }
 
 const char* system_name(System system) {
@@ -249,6 +284,20 @@ std::string part_json_fragment(const EpochResult& result) {
      << ", \"inter_node_ghost_rows\": " << result.part_inter_node_ghost_rows
      << ", \"avg_ghost_density\": " << result.part_avg_ghost_density
      << ", \"imbalance\": " << result.part_imbalance << "}";
+  return os.str();
+}
+
+std::string pipeline_json_fragment(const core::EpochStats& stats, double x) {
+  std::ostringstream os;
+  os << "\"pipeline\": {\"rounds\": " << stats.pipe_rounds
+     << ", \"cache_hits\": " << stats.cache_hits
+     << ", \"cache_misses\": " << stats.cache_misses
+     << ", \"cache_evictions\": " << stats.cache_evictions
+     << ", \"cache_hit_rate\": " << stats.cache_hit_rate
+     << ", \"sample_seconds\": " << stats.pipe_sample_seconds * x
+     << ", \"extract_seconds\": " << stats.pipe_extract_seconds * x
+     << ", \"train_seconds\": " << stats.pipe_train_seconds * x
+     << ", \"occupancy\": " << stats.pipe_occupancy << "}";
   return os.str();
 }
 

@@ -21,6 +21,7 @@
 #include "graph/datasets.hpp"
 #include "sim/machine.hpp"
 #include "sim/profile.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace mggcn::bench {
@@ -32,6 +33,27 @@ double default_scale(const graph::DatasetSpec& spec);
 /// Generates (or loads from the on-disk cache) a structure-only replica.
 graph::Dataset load_replica(const graph::DatasetSpec& spec, double scale,
                             std::uint64_t seed = 42);
+
+/// Registers the option set shared by per-dataset sweep benches:
+/// --datasets, --scale (0 = the per-dataset default_scale), and --json.
+void add_dataset_options(util::CliParser& cli,
+                         const std::string& default_datasets);
+
+/// Resolves --scale against the spec: explicit positive value wins,
+/// otherwise default_scale(spec).
+double resolved_scale(const util::CliParser& cli,
+                      const graph::DatasetSpec& spec);
+
+/// dataset_by_name + resolved_scale + load_replica in one call — the
+/// per-dataset loop body every sweep bench used to spell out.
+graph::Dataset load_cli_replica(const util::CliParser& cli,
+                                const std::string& name);
+
+/// Writes `{"bench": <name>, "rows": [<rows>]}` to the --json path if one
+/// was given. Returns false (after printing an error) when the write
+/// failed, so mains can `return write_json(...) ? 0 : 1;`.
+bool write_json(const util::CliParser& cli, const std::string& bench_name,
+                const std::string& rows);
 
 enum class System { kMgGcn, kDgl, kCagnet };
 const char* system_name(System system);
@@ -99,6 +121,11 @@ std::string plan_json_fragment(const EpochResult& result);
 /// The epoch's partitioner cut-quality counters as a JSON object fragment
 /// (`"part_stats": {...}`), for splicing into a bench's --json rows.
 std::string part_json_fragment(const EpochResult& result);
+
+/// The sampled pipeline's cache + stage counters as a JSON object fragment
+/// (`"pipeline": {...}`). Stage seconds are extrapolated by `x`; counters
+/// are replica counts.
+std::string pipeline_json_fragment(const core::EpochStats& stats, double x);
 
 /// Isolated one-shot distributed SpMM for the timeline figures (6 and 8):
 /// partitions the dataset's normalized adjacency transpose, allocates the

@@ -62,6 +62,18 @@ and enforces three properties:
    a ``part`` section, each group's locality-over-random speedup is
    also checked against it with the ``--max-regression`` allowance.
 
+7. **Sampled-pipeline gate** (``--cache <json>``, from
+   ``bench_sampled_pipeline --json``): for every (dataset, gpus) group at
+   ``gpus >= --cache-gate-min-gpus``, the pipelined engine under ``auto``
+   cache pricing must beat the serialized cache-off baseline by
+   ``--cache-pipe-speedup`` (default 1.3x); ``auto`` must never lose to
+   the pipelined cache-off run (``--cache-min-speedup``); and the
+   ``freq`` cache's hit rate must be monotone non-decreasing in the
+   capacity fraction (within ``--cache-monotone-eps``). When the
+   committed baseline has a ``cache`` section, each group's
+   pipelined-auto-over-serialized speedup is also checked against it
+   with the ``--max-regression`` allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
@@ -398,6 +410,103 @@ def check_part(rows: list[dict], min_speedup: float, gate_min_gpus: int,
     return failures, report, speedups
 
 
+def load_cache_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "sampled_pipeline":
+        raise ValueError(f"{path} is not a bench_sampled_pipeline JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return [row for row in doc.get("rows", []) if not row.get("oom")]
+
+
+def cache_groups(rows: list[dict]) -> dict[tuple, list[dict]]:
+    """(dataset, gpus) -> rows of that sweep cell."""
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["dataset"], row["gpus"]), []).append(row)
+    return groups
+
+
+def check_cache(rows: list[dict], pipe_speedup: float, gate_min_gpus: int,
+                min_vs_off: float, monotone_eps: float
+                ) -> tuple[list[str], list[str], dict[str, float]]:
+    """The sampled-pipeline gate over bench_sampled_pipeline rows."""
+    failures, report = [], []
+    speedups: dict[str, float] = {}
+    gate_groups = 0
+    for key, group in sorted(cache_groups(rows).items()):
+        dataset, gpus = key
+        name = f"{dataset}/gpus:{gpus}"
+
+        def pick(engine: str, mode: str) -> dict | None:
+            rows_ = [r for r in group if r["engine"] == engine
+                     and r["cache_mode"] == mode and r["seconds"] > 0]
+            return rows_[0] if rows_ else None
+
+        serial = pick("serialized", "off")
+        pipe_off = pick("pipelined", "off")
+        pipe_auto = pick("pipelined", "auto")
+        if serial is None or pipe_off is None or pipe_auto is None:
+            print(f"warning: cache group {name} lacks a serialized/off/auto "
+                  f"row; skipped", file=sys.stderr)
+            continue
+
+        speedup = serial["seconds"] / pipe_auto["seconds"]
+        speedups[name] = speedup
+        vs_off = pipe_off["seconds"] / pipe_auto["seconds"]
+        report.append(
+            f"cache {name}: pipelined+auto {speedup:.2f}x over serialized "
+            f"({vs_off:.2f}x over cache-off, hit rate "
+            f"{pipe_auto['hit_rate']:.3f}, resolved "
+            f"{pipe_auto.get('resolved_mode', '?')})")
+
+        if vs_off < min_vs_off:
+            failures.append(
+                f"cache: auto slower than cache-off on {name}: "
+                f"{vs_off:.3f}x (required >= {min_vs_off:.3f}x; the "
+                f"cost-model selector must never lose)")
+
+        freq = sorted((r for r in group if r["engine"] == "pipelined"
+                       and r["cache_mode"] == "freq"),
+                      key=lambda r: r["capacity_fraction"])
+        for lo, hi in zip(freq, freq[1:]):
+            if hi["hit_rate"] < lo["hit_rate"] - monotone_eps:
+                failures.append(
+                    f"cache: hit rate not monotone in capacity on {name}: "
+                    f"{lo['hit_rate']:.3f} @ {lo['capacity_fraction']} -> "
+                    f"{hi['hit_rate']:.3f} @ {hi['capacity_fraction']}")
+
+        if gpus >= gate_min_gpus:
+            gate_groups += 1
+            if speedup < pipe_speedup:
+                failures.append(
+                    f"cache gate: {name} pipelined+auto is {speedup:.2f}x "
+                    f"over serialized (required {pipe_speedup:.2f}x)")
+    if gate_groups == 0:
+        failures.append(
+            f"cache gate: no groups at gpus >= {gate_min_gpus}; the "
+            f"pipeline-overlap gate did not run")
+    return failures, report, speedups
+
+
+def check_cache_baseline(speedups: dict[str, float],
+                         baseline: dict[str, float],
+                         max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in speedups:
+            print(f"warning: baseline cache config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if speedups[name] < floor:
+            failures.append(
+                f"cache regression: {name}: pipelined+auto is "
+                f"{speedups[name]:.2f}x over serialized < {floor:.2f}x "
+                f"(baseline {base:.2f}x, allowed -{max_regression:.0%})")
+    return failures
+
+
 def check_part_baseline(speedups: dict[str, float],
                         baseline: dict[str, float],
                         max_regression: float) -> list[str]:
@@ -513,16 +622,30 @@ def main() -> int:
     parser.add_argument("--part-win-nodes", type=int, default=8,
                         help="node count of the cluster scale-out win rows "
                         "(default: %(default)s)")
+    parser.add_argument("--cache", type=Path, default=None,
+                        help="bench_sampled_pipeline JSON to gate (check 7)")
+    parser.add_argument("--cache-pipe-speedup", type=float, default=1.3,
+                        help="pipelined+auto-over-serialized epoch ratio "
+                        "required on every gated group (default: %(default)s)")
+    parser.add_argument("--cache-gate-min-gpus", type=int, default=4,
+                        help="smallest device count the pipeline gate "
+                        "applies to (default: %(default)s)")
+    parser.add_argument("--cache-min-speedup", type=float, default=0.999,
+                        help="auto-over-cache-off epoch ratio required on "
+                        "every group (default: %(default)s)")
+    parser.add_argument("--cache-monotone-eps", type=float, default=0.005,
+                        help="allowed hit-rate dip between adjacent cache "
+                        "capacities (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
     args = parser.parse_args()
 
     if (args.current is None and args.comm is None and args.plan is None
-            and args.part is None):
+            and args.part is None and args.cache is None):
         print("error: pass a bench_kernels JSON, --comm <json>, "
-              "--plan <json>, --part <json>, or a combination",
-              file=sys.stderr)
+              "--plan <json>, --part <json>, --cache <json>, or a "
+              "combination", file=sys.stderr)
         return 1
 
     current: dict[str, float] = {}
@@ -539,6 +662,9 @@ def main() -> int:
     plan_speedups: dict[str, float] = {}
     part_rows = load_part_rows(args.part) if args.part is not None else None
     part_speedups: dict[str, float] = {}
+    cache_rows = (load_cache_rows(args.cache)
+                  if args.cache is not None else None)
+    cache_speedups: dict[str, float] = {}
 
     if args.update:
         payload = {}
@@ -570,11 +696,19 @@ def main() -> int:
                 args.part_win_nodes)
             payload["part"] = {
                 k: part_speedups[k] for k in sorted(part_speedups)}
+        if cache_rows is not None:
+            _, _, cache_speedups = check_cache(
+                cache_rows, args.cache_pipe_speedup,
+                args.cache_gate_min_gpus, args.cache_min_speedup,
+                args.cache_monotone_eps)
+            payload["cache"] = {
+                k: cache_speedups[k] for k in sorted(cache_speedups)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(current)} "
               f"benchmarks, {len(comm_speedups)} comm configs, "
               f"{len(plan_speedups)} plan configs, "
-              f"{len(part_speedups)} part configs)")
+              f"{len(part_speedups)} part configs, "
+              f"{len(cache_speedups)} cache configs)")
         return 0
 
     failures: list[str] = []
@@ -630,8 +764,18 @@ def main() -> int:
             failures += check_part_baseline(part_speedups,
                                             baseline_doc["part"],
                                             args.max_regression)
+    cache_report: list[str] = []
+    if cache_rows is not None:
+        cache_failures, cache_report, cache_speedups = check_cache(
+            cache_rows, args.cache_pipe_speedup, args.cache_gate_min_gpus,
+            args.cache_min_speedup, args.cache_monotone_eps)
+        failures += cache_failures
+        if "cache" in baseline_doc:
+            failures += check_cache_baseline(cache_speedups,
+                                             baseline_doc["cache"],
+                                             args.max_regression)
     for line in (report + planned_report + comm_report + plan_report +
-                 part_report):
+                 part_report + cache_report):
         print(line)
 
     if failures:
@@ -642,7 +786,8 @@ def main() -> int:
     print(f"check_perf: OK ({len(current)} benchmarks, "
           f"{len(comm_speedups)} comm configs, "
           f"{len(plan_speedups)} plan configs, "
-          f"{len(part_speedups)} part configs checked)")
+          f"{len(part_speedups)} part configs, "
+          f"{len(cache_speedups)} cache configs checked)")
     return 0
 
 

@@ -1,0 +1,88 @@
+#include "core/cache_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+namespace {
+
+CacheMode mode_from_env() {
+  const char* env = std::getenv("MGGCN_CACHE");
+  if (env == nullptr || *env == '\0') return CacheMode::kAuto;
+  const auto parsed = parse_cache_mode(env);
+  MGGCN_CHECK_MSG(parsed.has_value(),
+                  std::string("MGGCN_CACHE must be 'off', 'static', 'freq', "
+                              "or 'auto', got '") +
+                      env + "'");
+  return *parsed;
+}
+
+std::atomic<CacheMode>& active_mode() {
+  static std::atomic<CacheMode> mode{mode_from_env()};
+  return mode;
+}
+
+double fraction_from_env() {
+  const char* env = std::getenv("MGGCN_CACHE_CAP");
+  if (env == nullptr || *env == '\0') return 0.05;
+  char* tail = nullptr;
+  const double value = std::strtod(env, &tail);
+  MGGCN_CHECK_MSG(tail != env && *tail == '\0' && value >= 0.0 && value <= 1.0,
+                  std::string("MGGCN_CACHE_CAP must be a fraction in [0, 1], "
+                              "got '") +
+                      env + "'");
+  return value;
+}
+
+std::atomic<double>& active_fraction() {
+  static std::atomic<double> fraction{fraction_from_env()};
+  return fraction;
+}
+
+}  // namespace
+
+const char* cache_mode_name(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kStatic:
+      return "static";
+    case CacheMode::kFreq:
+      return "freq";
+    case CacheMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<CacheMode> parse_cache_mode(std::string_view name) {
+  if (name == "off") return CacheMode::kOff;
+  if (name == "static") return CacheMode::kStatic;
+  if (name == "freq") return CacheMode::kFreq;
+  if (name == "auto") return CacheMode::kAuto;
+  return std::nullopt;
+}
+
+CacheMode cache_mode() {
+  return active_mode().load(std::memory_order_relaxed);
+}
+
+void set_cache_mode(CacheMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+double cache_capacity_fraction() {
+  return active_fraction().load(std::memory_order_relaxed);
+}
+
+void set_cache_capacity_fraction(double fraction) {
+  MGGCN_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                  "cache capacity fraction must be in [0, 1]");
+  active_fraction().store(fraction, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::core

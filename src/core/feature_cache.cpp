@@ -1,0 +1,183 @@
+#include "core/feature_cache.hpp"
+
+#include <algorithm>
+
+#include "sim/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+FeatureCache::FeatureCache(sim::Device& device, std::int64_t d,
+                           std::int64_t capacity_rows, CacheMode mode) {
+  MGGCN_CHECK_MSG(mode != CacheMode::kAuto,
+                  "resolve kAuto through FeatureCache::plan_auto first");
+  MGGCN_CHECK(d > 0 && capacity_rows >= 0);
+  if (mode == CacheMode::kOff || capacity_rows == 0) return;
+  mode_ = mode;
+  d_ = d;
+  capacity_rows_ = capacity_rows;
+  buffer_ = sim::DeviceBuffer(
+      device, static_cast<std::size_t>(capacity_rows * d), "FCACHE");
+  slot_vertex_.reserve(static_cast<std::size_t>(capacity_rows));
+}
+
+FeatureCache::AutoDecision FeatureCache::plan_auto(
+    CacheMode requested, std::int64_t capacity_rows, std::int64_t d,
+    const comm::Communicator& comm, const sim::DeviceProfile& device,
+    std::uint64_t available_bytes) {
+  AutoDecision decision;
+  const double row_bytes = static_cast<double>(d) * sizeof(float);
+
+  // A hit reads the pinned row and writes it into the gather block at HBM
+  // bandwidth; a miss rides a sendv message over the interconnect (payload
+  // + the root's pack traffic — sendv_rows_seconds is exactly what the
+  // extraction stage will be charged). Amortize the per-message alpha over
+  // a typical miss batch so tiny-alpha fabrics don't flip the decision.
+  sim::KernelCost hit_cost;
+  hit_cost.stream_bytes = 2.0 * row_bytes;
+  hit_cost.launches = 0;
+  decision.hit_seconds_per_row = sim::CostModel::seconds(hit_cost, device);
+  constexpr int kAmortizedRowsPerMessage = 64;
+  decision.miss_seconds_per_row =
+      comm.sendv_rows_seconds(
+          static_cast<std::uint64_t>(row_bytes) * kAmortizedRowsPerMessage,
+          1) /
+      kAmortizedRowsPerMessage;
+
+  const auto fit = static_cast<std::int64_t>(
+      available_bytes / static_cast<std::uint64_t>(row_bytes));
+  decision.capacity_rows = std::max<std::int64_t>(
+      0, std::min(capacity_rows, fit));
+  decision.mode = requested;
+
+  if (requested == CacheMode::kAuto) {
+    // Keep the cache only when the model says a pinned row beats the wire
+    // (it always should on a multi-device machine — this is the "auto
+    // never loses to off" contract); single-rank communicators have no
+    // remote rows to cache.
+    const bool wins = comm.size() > 1 && decision.capacity_rows > 0 &&
+                      decision.miss_seconds_per_row >
+                          decision.hit_seconds_per_row;
+    decision.mode = wins ? CacheMode::kFreq : CacheMode::kOff;
+  }
+  if (decision.mode == CacheMode::kOff) decision.capacity_rows = 0;
+  return decision;
+}
+
+void FeatureCache::prefill(std::span<const std::uint32_t> vertices,
+                           std::span<const std::int64_t> scores) {
+  if (!enabled()) return;
+  MGGCN_CHECK(vertices.size() == scores.size());
+  MGGCN_CHECK_MSG(slot_vertex_.empty(), "prefill an empty cache");
+
+  std::vector<std::size_t> order(vertices.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return vertices[a] < vertices[b];
+  });
+
+  const auto take = std::min<std::size_t>(
+      order.size(), static_cast<std::size_t>(capacity_rows_));
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::uint32_t v = vertices[order[i]];
+    slot_of_.emplace(v, static_cast<std::int64_t>(slot_vertex_.size()));
+    slot_vertex_.push_back(v);
+  }
+  if (mode_ == CacheMode::kFreq) {
+    // Seed the LFU with the degree prior so admission starts informed
+    // instead of cold (the CaPGNN degree-then-adapt policy).
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      freq_[vertices[i]] = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(scores[i], 0));
+    }
+  }
+}
+
+FeatureCache::Partition FeatureCache::lookup(
+    std::span<const std::uint32_t> vertices) {
+  Partition part;
+  if (!enabled()) {
+    part.miss_vertices.assign(vertices.begin(), vertices.end());
+    stats_.misses += vertices.size();
+    return part;
+  }
+  for (const std::uint32_t v : vertices) {
+    if (mode_ == CacheMode::kFreq) ++freq_[v];
+    const auto it = slot_of_.find(v);
+    if (it != slot_of_.end()) {
+      part.hit_vertices.push_back(v);
+      part.hit_slots.push_back(it->second);
+    } else {
+      part.miss_vertices.push_back(v);
+    }
+  }
+  stats_.hits += part.hit_vertices.size();
+  stats_.misses += part.miss_vertices.size();
+  return part;
+}
+
+std::vector<std::pair<std::uint32_t, std::int64_t>> FeatureCache::admit(
+    std::span<const std::uint32_t> missed) {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> placements;
+  if (!enabled() || mode_ != CacheMode::kFreq || missed.empty()) {
+    return placements;
+  }
+
+  // Candidates by descending frequency (ties: lower vertex id), so free
+  // slots and evictions go to the hottest misses first.
+  std::vector<std::uint32_t> candidates(missed.begin(), missed.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const auto fa = freq_[a], fb = freq_[b];
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+
+  std::size_t next = 0;
+  while (next < candidates.size() &&
+         static_cast<std::int64_t>(slot_vertex_.size()) < capacity_rows_) {
+    const std::uint32_t v = candidates[next++];
+    const auto slot = static_cast<std::int64_t>(slot_vertex_.size());
+    slot_of_.emplace(v, slot);
+    slot_vertex_.push_back(v);
+    ++stats_.inserts;
+    placements.emplace_back(v, slot);
+  }
+  if (next == candidates.size()) return placements;
+
+  // Cache full: displace pinned rows with strictly lower frequency,
+  // coldest first (ties: higher vertex id evicted first, so the order is
+  // deterministic).
+  std::vector<std::int64_t> victims(slot_vertex_.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    victims[i] = static_cast<std::int64_t>(i);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [&](std::int64_t a, std::int64_t b) {
+              const auto va = slot_vertex_[static_cast<std::size_t>(a)];
+              const auto vb = slot_vertex_[static_cast<std::size_t>(b)];
+              const auto fa = freq_[va], fb = freq_[vb];
+              if (fa != fb) return fa < fb;
+              return va > vb;
+            });
+
+  std::size_t victim = 0;
+  for (; next < candidates.size() && victim < victims.size(); ++victim) {
+    const std::uint32_t incoming = candidates[next];
+    const auto slot = victims[victim];
+    const std::uint32_t outgoing =
+        slot_vertex_[static_cast<std::size_t>(slot)];
+    if (freq_[incoming] <= freq_[outgoing]) break;
+    slot_of_.erase(outgoing);
+    slot_of_.emplace(incoming, slot);
+    slot_vertex_[static_cast<std::size_t>(slot)] = incoming;
+    ++stats_.evictions;
+    ++stats_.inserts;
+    placements.emplace_back(incoming, slot);
+    ++next;
+  }
+  return placements;
+}
+
+}  // namespace mggcn::core

@@ -53,6 +53,23 @@ struct EpochStats {
   int plan_decisions = 0;
   int plan_fallbacks = 0;
 
+  /// Sampled-pipeline counters this epoch (sim::PipelineCounters deltas;
+  /// zero for the full-batch trainer). cache_* are the per-device feature
+  /// caches' extraction outcomes; pipe_*_seconds are the cost-model-priced
+  /// busy seconds per stage summed over devices; pipe_occupancy is the
+  /// mean stage-busy fraction of the epoch's device-seconds, the headline
+  /// overlap metric of the pipelined engine.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
+  /// hits / (hits + misses); 0 when the extraction stage saw no lookups.
+  double cache_hit_rate = 0.0;
+  int pipe_rounds = 0;
+  double pipe_sample_seconds = 0.0;
+  double pipe_extract_seconds = 0.0;
+  double pipe_train_seconds = 0.0;
+  double pipe_occupancy = 0.0;
+
   /// Cut quality of the active vertex ordering (core::PartitionCutStats of
   /// the forward tiling, measured once at preprocessing and repeated in
   /// every epoch's stats so bench rows stay self-contained).

@@ -40,7 +40,11 @@ std::vector<std::uint32_t> NeighborSampler::random_batch(
   while (static_cast<std::int64_t>(picked.size()) < batch_size) {
     picked.insert(static_cast<std::uint32_t>(rng.uniform_index(n)));
   }
-  return {picked.begin(), picked.end()};
+  // Hash-set iteration order is implementation-defined; sort so a seeded
+  // batch is bit-identical across standard libraries and runs.
+  std::vector<std::uint32_t> batch(picked.begin(), picked.end());
+  std::sort(batch.begin(), batch.end());
+  return batch;
 }
 
 SampledSubgraph NeighborSampler::sample(
@@ -67,11 +71,8 @@ SampledSubgraph NeighborSampler::sample(
       const std::int64_t degree = end - begin;
       if (cap <= 0 || degree <= cap) {
         for (auto e = begin; e < end; ++e) {
-          const auto u = col_idx[static_cast<std::size_t>(e)];
-          sampled[f].push_back(u);
-          next.insert(u);
+          sampled[f].push_back(col_idx[static_cast<std::size_t>(e)]);
         }
-        edges += degree;
       } else {
         // Sample `cap` neighbors without replacement (partial
         // Fisher-Yates over the edge range indices).
@@ -86,13 +87,20 @@ SampledSubgraph NeighborSampler::sample(
                       static_cast<std::uint64_t>(degree - i)));
           std::swap(offsets[static_cast<std::size_t>(i)],
                     offsets[static_cast<std::size_t>(pick)]);
-          const auto u = col_idx[static_cast<std::size_t>(
-              offsets[static_cast<std::size_t>(i)])];
-          sampled[f].push_back(u);
-          next.insert(u);
+          sampled[f].push_back(col_idx[static_cast<std::size_t>(
+              offsets[static_cast<std::size_t>(i)])]);
         }
-        edges += cap;
       }
+      // A CSR with parallel edges can yield the same target twice — once
+      // per edge on the uncapped path, and once per *edge index* from the
+      // Fisher-Yates pick. Deduplicate so a sampled neighbor contributes
+      // one aggregation edge (and the fanout is not wasted re-sampling
+      // it), then count the distinct edges.
+      std::sort(sampled[f].begin(), sampled[f].end());
+      sampled[f].erase(std::unique(sampled[f].begin(), sampled[f].end()),
+                       sampled[f].end());
+      next.insert(sampled[f].begin(), sampled[f].end());
+      edges += static_cast<std::int64_t>(sampled[f].size());
     }
     out.edges_per_hop.push_back(edges);
     std::vector<std::uint32_t> next_layer(next.begin(), next.end());

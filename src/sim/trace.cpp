@@ -20,6 +20,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kComm: return "Comm";
     case TaskKind::kMemory: return "Memory";
     case TaskKind::kInspect: return "Inspect";
+    case TaskKind::kSample: return "Sample";
     case TaskKind::kOther: return "Other";
   }
   return "?";
@@ -80,6 +81,16 @@ PlanCounters Trace::plan_counters() const {
   return plan_counters_;
 }
 
+void Trace::record_pipeline(const PipelineCounters& delta) {
+  std::lock_guard lock(mutex_);
+  pipeline_counters_ += delta;
+}
+
+PipelineCounters Trace::pipeline_counters() const {
+  std::lock_guard lock(mutex_);
+  return pipeline_counters_;
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
@@ -87,6 +98,7 @@ void Trace::clear() {
   hazard_records_.clear();
   comm_volume_ = CommVolume{};
   plan_counters_ = PlanCounters{};
+  pipeline_counters_ = PipelineCounters{};
 }
 
 std::vector<HazardRecord> Trace::hazard_records() const {

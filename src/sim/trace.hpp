@@ -22,6 +22,7 @@ enum class TaskKind {
   kComm,
   kMemory,   // memsets / copies
   kInspect,  // one-time SpMM plan construction (inspector-executor)
+  kSample,   // neighborhood sampling (mini-batch pipeline stage)
   kOther,
 };
 
@@ -126,6 +127,37 @@ struct PlanCounters {
   }
 };
 
+/// Aggregate sampled-pipeline counters (core::SampledPipeline records one
+/// delta per round at enqueue time, like CommVolume, so the counters are
+/// deterministic regardless of worker scheduling). `*_seconds` are the
+/// cost-model-priced busy seconds of each stage summed over devices — the
+/// per-stage occupancy the bench --json artifacts report; cache_* count the
+/// per-device feature-cache outcomes of the extraction stage.
+struct PipelineCounters {
+  /// Pipeline rounds executed (one mini-batch per device per round).
+  std::uint64_t rounds = 0;
+  /// Per-device mini-batches trained (rounds * devices).
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  double sample_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double train_seconds = 0.0;
+
+  PipelineCounters& operator+=(const PipelineCounters& o) {
+    rounds += o.rounds;
+    batches += o.batches;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    sample_seconds += o.sample_seconds;
+    extract_seconds += o.extract_seconds;
+    train_seconds += o.train_seconds;
+    return *this;
+  }
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -150,6 +182,8 @@ class Trace {
   void record_comm_volume(const CommVolume& delta);
   /// Accumulates one distributed product's strategy-selection counters.
   void record_plan(const PlanCounters& delta);
+  /// Accumulates one sampled-pipeline round's stage/cache counters.
+  void record_pipeline(const PipelineCounters& delta);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -168,6 +202,10 @@ class Trace {
   /// Running strategy-selection totals (snapshot; per-epoch figures
   /// difference two snapshots).
   [[nodiscard]] PlanCounters plan_counters() const;
+
+  /// Running sampled-pipeline totals (snapshot; per-epoch figures
+  /// difference two snapshots).
+  [[nodiscard]] PipelineCounters pipeline_counters() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -198,6 +236,7 @@ class Trace {
   std::vector<HazardRecord> hazard_records_;
   CommVolume comm_volume_;
   PlanCounters plan_counters_;
+  PipelineCounters pipeline_counters_;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,

@@ -1,0 +1,183 @@
+// Tests for the per-device frequency-aware feature cache: scoring order,
+// capacity degeneration, counter reconciliation, and the plan_auto
+// cost-model decision.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/feature_cache.hpp"
+#include "sim/machine.hpp"
+
+namespace mggcn::core {
+namespace {
+
+class FeatureCacheTest : public ::testing::Test {
+ protected:
+  sim::Machine machine_{sim::dgx_v100(), 4, sim::ExecutionMode::kPhantom};
+};
+
+TEST_F(FeatureCacheTest, PrefillPinsTopScoredVertices) {
+  FeatureCache cache(machine_.device(0), 8, 3, CacheMode::kStatic);
+  const std::vector<std::uint32_t> vertices = {10, 20, 30, 40, 50};
+  const std::vector<std::int64_t> degrees = {5, 40, 7, 40, 2};
+  cache.prefill(vertices, degrees);
+
+  // Top-3 by score, ties broken by lower vertex id: 20 (40), 40 (40), 30 (7).
+  ASSERT_EQ(cache.occupancy(), 3);
+  const auto pinned = cache.pinned();
+  EXPECT_EQ(pinned[0], 20u);
+  EXPECT_EQ(pinned[1], 40u);
+  EXPECT_EQ(pinned[2], 30u);
+
+  const auto part = cache.lookup(std::vector<std::uint32_t>{10, 20, 30});
+  EXPECT_EQ(part.hit_vertices, (std::vector<std::uint32_t>{20, 30}));
+  EXPECT_EQ(part.miss_vertices, (std::vector<std::uint32_t>{10}));
+}
+
+TEST_F(FeatureCacheTest, CapacityZeroDegeneratesToOff) {
+  FeatureCache cache(machine_.device(0), 8, 0, CacheMode::kFreq);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  const std::vector<std::uint32_t> vertices = {1, 2, 3};
+  const auto part = cache.lookup(vertices);
+  EXPECT_TRUE(part.hit_vertices.empty());
+  EXPECT_EQ(part.miss_vertices, vertices);
+  EXPECT_TRUE(cache.admit(part.miss_vertices).empty());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST_F(FeatureCacheTest, StaticModeNeverAdmitsOrEvicts) {
+  FeatureCache cache(machine_.device(0), 8, 2, CacheMode::kStatic);
+  const std::vector<std::uint32_t> vertices = {1, 2, 3, 4};
+  const std::vector<std::int64_t> degrees = {9, 8, 1, 1};
+  cache.prefill(vertices, degrees);
+
+  for (int round = 0; round < 5; ++round) {
+    const auto part = cache.lookup(std::vector<std::uint32_t>{3, 4});
+    EXPECT_TRUE(cache.admit(part.miss_vertices).empty());
+  }
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.pinned()[0], 1u);
+  EXPECT_EQ(cache.pinned()[1], 2u);
+}
+
+TEST_F(FeatureCacheTest, FreqAdmissionDisplacesColderRows) {
+  FeatureCache cache(machine_.device(0), 4, 2, CacheMode::kFreq);
+  // Seed: 1 and 2 pinned with prior frequency 10; 3 starts at 2.
+  cache.prefill(std::vector<std::uint32_t>{1, 2, 3},
+                std::vector<std::int64_t>{10, 10, 2});
+  ASSERT_EQ(cache.occupancy(), 2);
+
+  // Nine lookups of vertex 3 raise its frequency to 11 > 10: the next
+  // admission displaces the colder pinned row (ties evict the higher id
+  // first, so vertex 2 goes).
+  FeatureCache::Partition part;
+  for (int i = 0; i < 9; ++i) {
+    part = cache.lookup(std::vector<std::uint32_t>{3});
+    EXPECT_EQ(part.miss_vertices, (std::vector<std::uint32_t>{3}));
+  }
+  const auto placements = cache.admit(part.miss_vertices);
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].first, 3u);
+
+  const auto after = cache.lookup(std::vector<std::uint32_t>{1, 2, 3});
+  EXPECT_EQ(after.hit_vertices, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(after.miss_vertices, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST_F(FeatureCacheTest, AdmissionNeverDisplacesEqualFrequency) {
+  FeatureCache cache(machine_.device(0), 4, 1, CacheMode::kFreq);
+  cache.prefill(std::vector<std::uint32_t>{1, 2},
+                std::vector<std::int64_t>{5, 5});
+  ASSERT_EQ(cache.occupancy(), 1);
+  // Both vertices appear in every batch, so their frequencies stay tied:
+  // admission requires a strictly higher score and must refuse.
+  for (int round = 0; round < 4; ++round) {
+    const auto part = cache.lookup(std::vector<std::uint32_t>{1, 2});
+    EXPECT_EQ(part.hit_vertices, (std::vector<std::uint32_t>{1}));
+    EXPECT_TRUE(cache.admit(part.miss_vertices).empty());
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_F(FeatureCacheTest, CountersReconcile) {
+  FeatureCache cache(machine_.device(0), 8, 3, CacheMode::kFreq);
+  const std::vector<std::uint32_t> vertices = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::int64_t> degrees = {8, 7, 6, 5, 4, 3, 2, 1};
+  cache.prefill(vertices, degrees);
+  const std::int64_t prefilled = cache.occupancy();
+
+  std::uint64_t looked_up = 0;
+  for (std::uint32_t base = 0; base < 6; ++base) {
+    const std::vector<std::uint32_t> batch = {base, base + 1, base + 2};
+    looked_up += batch.size();
+    const auto part = cache.lookup(batch);
+    EXPECT_EQ(part.hit_vertices.size() + part.miss_vertices.size(),
+              batch.size());
+    (void)cache.admit(part.miss_vertices);
+  }
+
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, looked_up);
+  // Occupancy is prefilled + inserts - evictions, and never exceeds
+  // capacity.
+  EXPECT_EQ(cache.occupancy(),
+            prefilled + static_cast<std::int64_t>(stats.inserts) -
+                static_cast<std::int64_t>(stats.evictions));
+  EXPECT_LE(cache.occupancy(), cache.capacity_rows());
+}
+
+TEST_F(FeatureCacheTest, BufferBytesMatchCapacity) {
+  FeatureCache cache(machine_.device(0), 16, 10, CacheMode::kStatic);
+  EXPECT_EQ(cache.bytes(), 10u * 16u * sizeof(float));
+}
+
+TEST_F(FeatureCacheTest, PlanAutoKeepsCacheWhenWireLoses) {
+  comm::Communicator comm(machine_);
+  const auto decision =
+      FeatureCache::plan_auto(CacheMode::kAuto, 100, 64, comm,
+                              machine_.profile().device, 1ull << 30);
+  // On a multi-device NVLink machine a pinned-row read beats the wire, so
+  // kAuto resolves to the frequency cache at full requested capacity.
+  EXPECT_EQ(decision.mode, CacheMode::kFreq);
+  EXPECT_EQ(decision.capacity_rows, 100);
+  EXPECT_GT(decision.miss_seconds_per_row, decision.hit_seconds_per_row);
+}
+
+TEST_F(FeatureCacheTest, PlanAutoClampsCapacityToAvailableMemory) {
+  comm::Communicator comm(machine_);
+  const std::uint64_t row_bytes = 64 * sizeof(float);
+  const auto decision = FeatureCache::plan_auto(
+      CacheMode::kFreq, 100, 64, comm, machine_.profile().device,
+      row_bytes * 7);
+  EXPECT_EQ(decision.mode, CacheMode::kFreq);
+  EXPECT_EQ(decision.capacity_rows, 7);
+}
+
+TEST_F(FeatureCacheTest, PlanAutoDisablesOnSingleRank) {
+  sim::Machine solo(sim::dgx_v100(), 1, sim::ExecutionMode::kPhantom);
+  comm::Communicator comm(solo);
+  const auto decision = FeatureCache::plan_auto(
+      CacheMode::kAuto, 100, 64, comm, solo.profile().device, 1ull << 30);
+  // One rank owns every row: nothing remote to cache.
+  EXPECT_EQ(decision.mode, CacheMode::kOff);
+  EXPECT_EQ(decision.capacity_rows, 0);
+}
+
+TEST_F(FeatureCacheTest, OffModePassesThroughAsOff) {
+  comm::Communicator comm(machine_);
+  const auto decision = FeatureCache::plan_auto(
+      CacheMode::kOff, 100, 64, comm, machine_.profile().device, 1ull << 30);
+  EXPECT_EQ(decision.mode, CacheMode::kOff);
+  EXPECT_EQ(decision.capacity_rows, 0);
+}
+
+}  // namespace
+}  // namespace mggcn::core

@@ -99,6 +99,90 @@ TEST(Explosion, WorkMultiplierGrowsWithDepth) {
             one_hop.epoch_work_multiplier);
 }
 
+// A 4-vertex graph where vertex 0 has parallel edges: three copies of
+// 0->1 plus 0->2 and 0->3 (5 edge slots, 3 distinct neighbors).
+sparse::Csr multi_edge_graph() {
+  return sparse::Csr(4, 4, {0, 5, 6, 7, 8}, {1, 1, 1, 2, 3, 0, 0, 0},
+                     {1, 1, 1, 1, 1, 1, 1, 1});
+}
+
+TEST(NeighborSampler, UncappedHopDeduplicatesParallelEdges) {
+  const sparse::Csr adj = multi_edge_graph();
+  const NeighborSampler sampler(adj, {0});  // <= 0 = no cap
+  util::Rng rng(17);
+  const SampledSubgraph sub = sampler.sample({0}, rng);
+  // Vertex 0 has 5 edge slots but only 3 distinct neighbors: the block
+  // must hold one aggregation edge per neighbor, not one per slot.
+  EXPECT_EQ(sub.edges_per_hop[0], 3);
+  EXPECT_EQ(sub.layers[1], (std::vector<std::uint32_t>{1, 2, 3}));
+  ASSERT_EQ(sub.blocks[0].nnz(), 3);
+  for (const float w : sub.blocks[0].values()) {
+    EXPECT_FLOAT_EQ(w, 1.0f / 3.0f);
+  }
+}
+
+TEST(NeighborSampler, FanoutAboveDegreeDoesNotResampleDuplicates) {
+  const sparse::Csr adj = multi_edge_graph();
+  // Fanout 10 exceeds vertex 0's distinct degree (3) and its slot count
+  // (5): the sampler must take each neighbor exactly once.
+  const NeighborSampler sampler(adj, {10});
+  util::Rng rng(18);
+  const SampledSubgraph sub = sampler.sample({0}, rng);
+  EXPECT_EQ(sub.edges_per_hop[0], 3);
+  EXPECT_EQ(sub.blocks[0].nnz(), 3);
+}
+
+TEST(NeighborSampler, CappedHopOnParallelEdgesYieldsDistinctTargets) {
+  const sparse::Csr adj = multi_edge_graph();
+  // cap 2 < degree 5: Fisher-Yates picks edge slots, which may collide on
+  // the duplicated target — sampled neighbors must still be distinct.
+  const NeighborSampler sampler(adj, {2});
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    util::Rng rng(seed);
+    const SampledSubgraph sub = sampler.sample({0}, rng);
+    std::set<std::uint32_t> unique(sub.layers[1].begin(),
+                                   sub.layers[1].end());
+    EXPECT_EQ(unique.size(), sub.layers[1].size());
+    EXPECT_EQ(sub.edges_per_hop[0],
+              static_cast<std::int64_t>(sub.blocks[0].nnz()));
+    EXPECT_LE(sub.edges_per_hop[0], 2);
+  }
+}
+
+TEST(NeighborSampler, RandomBatchIsSortedAndSeedStable) {
+  const sparse::Csr adj = dense_community_graph(500, 10.0, 19);
+  const NeighborSampler sampler(adj, {4});
+  util::Rng rng1(20), rng2(20);
+  const auto a = sampler.random_batch(64, rng1);
+  const auto b = sampler.random_batch(64, rng2);
+  // Sorted output makes the batch independent of hash-set iteration
+  // order, so a seed pins it bit-identically across runs and platforms.
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(NeighborSampler, SeededSamplingBitIdenticalIncludingBlocks) {
+  const sparse::Csr adj = dense_community_graph(600, 14.0, 21);
+  const NeighborSampler sampler(adj, {7, 7});
+  util::Rng rng1(22), rng2(22);
+  const auto a = sampler.sample(sampler.random_batch(24, rng1), rng1);
+  const auto b = sampler.sample(sampler.random_batch(24, rng2), rng2);
+  ASSERT_EQ(a.layers, b.layers);
+  ASSERT_EQ(a.edges_per_hop, b.edges_per_hop);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t k = 0; k < a.blocks.size(); ++k) {
+    EXPECT_TRUE(std::equal(a.blocks[k].row_ptr().begin(),
+                           a.blocks[k].row_ptr().end(),
+                           b.blocks[k].row_ptr().begin()));
+    EXPECT_TRUE(std::equal(a.blocks[k].col_idx().begin(),
+                           a.blocks[k].col_idx().end(),
+                           b.blocks[k].col_idx().begin()));
+    EXPECT_TRUE(std::equal(a.blocks[k].values().begin(),
+                           a.blocks[k].values().end(),
+                           b.blocks[k].values().begin()));
+  }
+}
+
 TEST(Explosion, SmallBatchesAreRedundantWork) {
   // With small batches and multiple hops, the summed mini-batch work per
   // epoch exceeds the full-batch epoch — the paper's argument for
