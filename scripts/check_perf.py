@@ -74,6 +74,17 @@ and enforces three properties:
    pipelined-auto-over-serialized speedup is also checked against it
    with the ``--max-regression`` allowance.
 
+8. **Serving gate** (``--serve <json>``, from ``bench_serving --json``):
+   for every (dataset, gpus, load, skew) group, the ``auto`` embedding
+   cache must never lose QPS to ``off`` under the same batch policy
+   (``--serve-min-speedup``), and at least one group at ``gpus >=
+   --serve-gate-min-gpus`` must show the ``deadline`` micro-batcher
+   beating ``per-request`` dispatch by ``--serve-batch-speedup``
+   (default 1.2x) QPS at equal-or-better p99 — the batching payoff
+   under saturating open-loop load. When the committed baseline has a
+   ``serve`` section, each group's deadline-over-per-request QPS ratio
+   is also checked against it with the ``--max-regression`` allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
@@ -489,6 +500,98 @@ def check_cache(rows: list[dict], pipe_speedup: float, gate_min_gpus: int,
     return failures, report, speedups
 
 
+def load_serve_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "serving":
+        raise ValueError(f"{path} is not a bench_serving JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return [row for row in doc.get("rows", []) if row.get("qps", 0) > 0]
+
+
+def serve_groups(rows: list[dict]) -> dict[tuple, dict[tuple, dict]]:
+    """(dataset, gpus, load_qps, skew) -> (policy, cache_mode) -> row."""
+    groups: dict[tuple, dict[tuple, dict]] = {}
+    for row in rows:
+        key = (row["dataset"], row["gpus"], row["load_qps"], row["skew"])
+        groups.setdefault(key, {})[(row["policy"], row["cache_mode"])] = row
+    return groups
+
+
+def check_serve(rows: list[dict], batch_speedup: float, gate_min_gpus: int,
+                min_vs_off: float) -> tuple[list[str], list[str],
+                                            dict[str, float]]:
+    """The serving gate over bench_serving rows."""
+    failures, report = [], []
+    speedups: dict[str, float] = {}
+    gate_groups = 0
+    best_win: tuple[float, str] | None = None
+    for key, cells in sorted(serve_groups(rows).items()):
+        dataset, gpus, load, skew = key
+        name = f"{dataset}/gpus:{gpus}/load:{load}/skew:{skew}"
+
+        # The auto cache must never lose QPS to off under the same policy.
+        for policy in ("per-request", "fixed", "deadline"):
+            off = cells.get((policy, "off"))
+            auto = cells.get((policy, "auto"))
+            if off is None or auto is None or off["qps"] <= 0:
+                continue
+            ratio = auto["qps"] / off["qps"]
+            if ratio < min_vs_off:
+                failures.append(
+                    f"serve: auto cache slower than off on {name}/{policy}: "
+                    f"{ratio:.3f}x (required >= {min_vs_off:.3f}x; the "
+                    f"cache planner must never lose)")
+
+        per_request = cells.get(("per-request", "off"))
+        deadline = cells.get(("deadline", "off"))
+        if per_request is None or deadline is None or \
+                per_request["qps"] <= 0:
+            continue
+        speedup = deadline["qps"] / per_request["qps"]
+        speedups[name] = speedup
+        p99_ok = deadline["p99"] <= per_request["p99"]
+        report.append(
+            f"serve {name}: deadline {speedup:.2f}x QPS over per-request "
+            f"(p99 {deadline['p99'] * 1e6:.1f}us vs "
+            f"{per_request['p99'] * 1e6:.1f}us, mean batch "
+            f"{deadline['mean_batch']:.1f})")
+        if gpus >= gate_min_gpus:
+            gate_groups += 1
+            if p99_ok and (best_win is None or speedup > best_win[0]):
+                best_win = (speedup, name)
+    if gate_groups == 0:
+        failures.append(
+            f"serve gate: no groups at gpus >= {gate_min_gpus}; the "
+            f"micro-batching gate did not run")
+    elif best_win is None or best_win[0] < batch_speedup:
+        where = f" (best: {best_win[1]} at {best_win[0]:.2f}x)" \
+            if best_win else ""
+        failures.append(
+            f"serve gate: no group where deadline batching reaches "
+            f"{batch_speedup:.2f}x per-request QPS at equal-or-better "
+            f"p99{where}")
+    return failures, report, speedups
+
+
+def check_serve_baseline(speedups: dict[str, float],
+                         baseline: dict[str, float],
+                         max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in speedups:
+            print(f"warning: baseline serve config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if speedups[name] < floor:
+            failures.append(
+                f"serve regression: {name}: deadline is "
+                f"{speedups[name]:.2f}x over per-request < {floor:.2f}x "
+                f"(baseline {base:.2f}x, allowed -{max_regression:.0%})")
+    return failures
+
+
 def check_cache_baseline(speedups: dict[str, float],
                          baseline: dict[str, float],
                          max_regression: float) -> list[str]:
@@ -636,16 +739,29 @@ def main() -> int:
     parser.add_argument("--cache-monotone-eps", type=float, default=0.005,
                         help="allowed hit-rate dip between adjacent cache "
                         "capacities (default: %(default)s)")
+    parser.add_argument("--serve", type=Path, default=None,
+                        help="bench_serving JSON to gate (check 8)")
+    parser.add_argument("--serve-batch-speedup", type=float, default=1.2,
+                        help="deadline-over-per-request QPS ratio at least "
+                        "one gated group must reach at equal-or-better p99 "
+                        "(default: %(default)s)")
+    parser.add_argument("--serve-gate-min-gpus", type=int, default=4,
+                        help="smallest device count the micro-batching gate "
+                        "applies to (default: %(default)s)")
+    parser.add_argument("--serve-min-speedup", type=float, default=0.999,
+                        help="auto-cache-over-off QPS ratio required on "
+                        "every serving config (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
     args = parser.parse_args()
 
     if (args.current is None and args.comm is None and args.plan is None
-            and args.part is None and args.cache is None):
+            and args.part is None and args.cache is None
+            and args.serve is None):
         print("error: pass a bench_kernels JSON, --comm <json>, "
-              "--plan <json>, --part <json>, --cache <json>, or a "
-              "combination", file=sys.stderr)
+              "--plan <json>, --part <json>, --cache <json>, "
+              "--serve <json>, or a combination", file=sys.stderr)
         return 1
 
     current: dict[str, float] = {}
@@ -665,6 +781,9 @@ def main() -> int:
     cache_rows = (load_cache_rows(args.cache)
                   if args.cache is not None else None)
     cache_speedups: dict[str, float] = {}
+    serve_rows = (load_serve_rows(args.serve)
+                  if args.serve is not None else None)
+    serve_speedups: dict[str, float] = {}
 
     if args.update:
         payload = {}
@@ -703,12 +822,19 @@ def main() -> int:
                 args.cache_monotone_eps)
             payload["cache"] = {
                 k: cache_speedups[k] for k in sorted(cache_speedups)}
+        if serve_rows is not None:
+            _, _, serve_speedups = check_serve(
+                serve_rows, args.serve_batch_speedup,
+                args.serve_gate_min_gpus, args.serve_min_speedup)
+            payload["serve"] = {
+                k: serve_speedups[k] for k in sorted(serve_speedups)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(current)} "
               f"benchmarks, {len(comm_speedups)} comm configs, "
               f"{len(plan_speedups)} plan configs, "
               f"{len(part_speedups)} part configs, "
-              f"{len(cache_speedups)} cache configs)")
+              f"{len(cache_speedups)} cache configs, "
+              f"{len(serve_speedups)} serve configs)")
         return 0
 
     failures: list[str] = []
@@ -774,8 +900,18 @@ def main() -> int:
             failures += check_cache_baseline(cache_speedups,
                                              baseline_doc["cache"],
                                              args.max_regression)
+    serve_report: list[str] = []
+    if serve_rows is not None:
+        serve_failures, serve_report, serve_speedups = check_serve(
+            serve_rows, args.serve_batch_speedup, args.serve_gate_min_gpus,
+            args.serve_min_speedup)
+        failures += serve_failures
+        if "serve" in baseline_doc:
+            failures += check_serve_baseline(serve_speedups,
+                                             baseline_doc["serve"],
+                                             args.max_regression)
     for line in (report + planned_report + comm_report + plan_report +
-                 part_report + cache_report):
+                 part_report + cache_report + serve_report):
         print(line)
 
     if failures:
@@ -787,7 +923,8 @@ def main() -> int:
           f"{len(comm_speedups)} comm configs, "
           f"{len(plan_speedups)} plan configs, "
           f"{len(part_speedups)} part configs, "
-          f"{len(cache_speedups)} cache configs checked)")
+          f"{len(cache_speedups)} cache configs, "
+          f"{len(serve_speedups)} serve configs checked)")
     return 0
 
 

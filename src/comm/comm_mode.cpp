@@ -1,28 +1,17 @@
 #include "comm/comm_mode.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
 
-#include "util/error.hpp"
+#include "util/env.hpp"
 
 namespace mggcn::comm {
 
 namespace {
 
-CommMode mode_from_env() {
-  const char* env = std::getenv("MGGCN_COMM");
-  if (env == nullptr || *env == '\0') return CommMode::kAuto;
-  const auto parsed = parse_comm_mode(env);
-  MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_COMM must be 'dense', 'compact', or "
-                              "'auto', got '") +
-                      env + "'");
-  return *parsed;
-}
-
 std::atomic<CommMode>& active_mode() {
-  static std::atomic<CommMode> mode{mode_from_env()};
+  static std::atomic<CommMode> mode{
+      util::env_enum("MGGCN_COMM", CommMode::kAuto, parse_comm_mode,
+                     "'dense', 'compact', or 'auto'")};
   return mode;
 }
 

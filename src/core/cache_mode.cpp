@@ -1,45 +1,24 @@
 #include "core/cache_mode.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace mggcn::core {
 
 namespace {
 
-CacheMode mode_from_env() {
-  const char* env = std::getenv("MGGCN_CACHE");
-  if (env == nullptr || *env == '\0') return CacheMode::kAuto;
-  const auto parsed = parse_cache_mode(env);
-  MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_CACHE must be 'off', 'static', 'freq', "
-                              "or 'auto', got '") +
-                      env + "'");
-  return *parsed;
-}
-
 std::atomic<CacheMode>& active_mode() {
-  static std::atomic<CacheMode> mode{mode_from_env()};
+  static std::atomic<CacheMode> mode{
+      util::env_enum("MGGCN_CACHE", CacheMode::kAuto, parse_cache_mode,
+                     "'off', 'static', 'freq', or 'auto'")};
   return mode;
 }
 
-double fraction_from_env() {
-  const char* env = std::getenv("MGGCN_CACHE_CAP");
-  if (env == nullptr || *env == '\0') return 0.05;
-  char* tail = nullptr;
-  const double value = std::strtod(env, &tail);
-  MGGCN_CHECK_MSG(tail != env && *tail == '\0' && value >= 0.0 && value <= 1.0,
-                  std::string("MGGCN_CACHE_CAP must be a fraction in [0, 1], "
-                              "got '") +
-                      env + "'");
-  return value;
-}
-
 std::atomic<double>& active_fraction() {
-  static std::atomic<double> fraction{fraction_from_env()};
+  static std::atomic<double> fraction{util::env_double(
+      "MGGCN_CACHE_CAP", 0.05, 0.0, 1.0, "a fraction in [0, 1]")};
   return fraction;
 }
 

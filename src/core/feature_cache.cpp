@@ -180,4 +180,31 @@ std::vector<std::pair<std::uint32_t, std::int64_t>> FeatureCache::admit(
   return placements;
 }
 
+std::vector<FeatureCache::Relocation> FeatureCache::invalidate(
+    std::span<const std::uint32_t> vertices, std::size_t* dropped) {
+  std::vector<Relocation> relocations;
+  std::size_t count = 0;
+  if (enabled()) {
+    for (const std::uint32_t v : vertices) {
+      const auto it = slot_of_.find(v);
+      if (it == slot_of_.end()) continue;
+      const auto slot = it->second;
+      slot_of_.erase(it);
+      const auto last = static_cast<std::int64_t>(slot_vertex_.size()) - 1;
+      if (slot != last) {
+        const std::uint32_t moved =
+            slot_vertex_[static_cast<std::size_t>(last)];
+        slot_vertex_[static_cast<std::size_t>(slot)] = moved;
+        slot_of_[moved] = slot;
+        relocations.push_back(Relocation{moved, last, slot});
+      }
+      slot_vertex_.pop_back();
+      ++stats_.evictions;
+      ++count;
+    }
+  }
+  if (dropped != nullptr) *dropped = count;
+  return relocations;
+}
+
 }  // namespace mggcn::core

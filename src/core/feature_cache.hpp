@@ -108,6 +108,24 @@ class FeatureCache {
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::int64_t>> admit(
       std::span<const std::uint32_t> missed);
 
+  /// A surviving row whose backing slot changed during invalidate():
+  /// the caller must copy row from_slot -> to_slot in buffer().
+  struct Relocation {
+    std::uint32_t vertex = 0;
+    std::int64_t from_slot = 0;
+    std::int64_t to_slot = 0;
+  };
+
+  /// Drops any pinned rows among `vertices` (a simulated graph-update's
+  /// touched set): their cached contents are stale, so subsequent lookups
+  /// miss and re-fetch. Slots stay densely packed — the last pinned row
+  /// moves into each vacated slot, and the returned relocations tell the
+  /// caller which buffer rows to move. `dropped` (optional) receives the
+  /// number of rows evicted; frequency counters are kept so hot rows are
+  /// re-admitted quickly.
+  [[nodiscard]] std::vector<Relocation> invalidate(
+      std::span<const std::uint32_t> vertices, std::size_t* dropped = nullptr);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] CacheMode mode() const { return mode_; }
   [[nodiscard]] bool enabled() const { return capacity_rows_ > 0; }

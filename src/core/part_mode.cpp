@@ -1,28 +1,17 @@
 #include "core/part_mode.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
 
-#include "util/error.hpp"
+#include "util/env.hpp"
 
 namespace mggcn::core {
 
 namespace {
 
-PartMode mode_from_env() {
-  const char* env = std::getenv("MGGCN_PART");
-  if (env == nullptr || *env == '\0') return PartMode::kRandom;
-  const auto parsed = parse_part_mode(env);
-  MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_PART must be 'random', 'balanced', "
-                              "'locality', 'hier', or 'auto', got '") +
-                      env + "'");
-  return *parsed;
-}
-
 std::atomic<PartMode>& active_mode() {
-  static std::atomic<PartMode> mode{mode_from_env()};
+  static std::atomic<PartMode> mode{util::env_enum(
+      "MGGCN_PART", PartMode::kRandom, parse_part_mode,
+      "'random', 'balanced', 'locality', 'hier', or 'auto'")};
   return mode;
 }
 

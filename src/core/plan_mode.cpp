@@ -1,28 +1,17 @@
 #include "core/plan_mode.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
 
-#include "util/error.hpp"
+#include "util/env.hpp"
 
 namespace mggcn::core {
 
 namespace {
 
-PlanMode mode_from_env() {
-  const char* env = std::getenv("MGGCN_PLAN");
-  if (env == nullptr || *env == '\0') return PlanMode::kAuto;
-  const auto parsed = parse_plan_mode(env);
-  MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_PLAN must be '1d', '15d', 'replicated', "
-                              "or 'auto', got '") +
-                      env + "'");
-  return *parsed;
-}
-
 std::atomic<PlanMode>& active_mode() {
-  static std::atomic<PlanMode> mode{mode_from_env()};
+  static std::atomic<PlanMode> mode{
+      util::env_enum("MGGCN_PLAN", PlanMode::kAuto, parse_plan_mode,
+                     "'1d', '15d', 'replicated', or 'auto'")};
   return mode;
 }
 

@@ -1,0 +1,82 @@
+#include "core/serve_mode.hpp"
+
+#include <atomic>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace mggcn::core {
+
+namespace {
+
+std::atomic<ServeCacheMode>& active_mode() {
+  static std::atomic<ServeCacheMode> mode{
+      util::env_enum("MGGCN_SERVE_CACHE", ServeCacheMode::kAuto,
+                     parse_serve_cache_mode, "'off', 'embed', or 'auto'")};
+  return mode;
+}
+
+std::atomic<std::int64_t>& active_batch() {
+  static std::atomic<std::int64_t> batch{
+      util::env_int("MGGCN_SERVE_BATCH", 16, 1, 4096)};
+  return batch;
+}
+
+std::atomic<double>& active_slack() {
+  static std::atomic<double> slack{
+      util::env_double("MGGCN_SERVE_SLACK", 200.0, 0.0, 1e6,
+                       "a wait budget in microseconds, in [0, 1e6]") *
+      1e-6};
+  return slack;
+}
+
+}  // namespace
+
+const char* serve_cache_mode_name(ServeCacheMode mode) {
+  switch (mode) {
+    case ServeCacheMode::kOff:
+      return "off";
+    case ServeCacheMode::kEmbed:
+      return "embed";
+    case ServeCacheMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<ServeCacheMode> parse_serve_cache_mode(std::string_view name) {
+  if (name == "off") return ServeCacheMode::kOff;
+  if (name == "embed") return ServeCacheMode::kEmbed;
+  if (name == "auto") return ServeCacheMode::kAuto;
+  return std::nullopt;
+}
+
+ServeCacheMode serve_cache_mode() {
+  return active_mode().load(std::memory_order_relaxed);
+}
+
+void set_serve_cache_mode(ServeCacheMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+std::int64_t serve_batch() {
+  return active_batch().load(std::memory_order_relaxed);
+}
+
+void set_serve_batch(std::int64_t batch) {
+  MGGCN_CHECK_MSG(batch >= 1 && batch <= 4096,
+                  "serve batch must be in [1, 4096]");
+  active_batch().store(batch, std::memory_order_relaxed);
+}
+
+double serve_slack_seconds() {
+  return active_slack().load(std::memory_order_relaxed);
+}
+
+void set_serve_slack_seconds(double seconds) {
+  MGGCN_CHECK_MSG(seconds >= 0.0 && seconds <= 1.0,
+                  "serve slack must be in [0, 1] seconds");
+  active_slack().store(seconds, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::core

@@ -693,6 +693,23 @@ dense::HostMatrix MgGcnTrainer::gather_logits() const {
   return logits;
 }
 
+dense::HostMatrix MgGcnTrainer::gather_activations(int layer) const {
+  MGGCN_CHECK_MSG(layer >= -1 && layer < num_layers(),
+                  "gather_activations: layer out of range");
+  const std::int64_t d = dims_[static_cast<std::size_t>(layer + 1)];
+  dense::HostMatrix out(partition_.total(), d);
+  for (int r = 0; r < partition_.parts(); ++r) {
+    const auto& rank = ranks_[static_cast<std::size_t>(r)];
+    const auto span = layer == -1
+                          ? rank.x.span()
+                          : rank.outputs[static_cast<std::size_t>(layer)].span();
+    MGGCN_CHECK_MSG(!span.empty(), "gather_activations requires real mode");
+    dense::copy(span.data(), out.view().row(partition_.begin(r)),
+                partition_.size(r) * d);
+  }
+  return out;
+}
+
 Checkpoint MgGcnTrainer::checkpoint() {
   machine_.synchronize();
   Checkpoint snapshot;

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -119,6 +120,18 @@ class MgGcnTrainer {
   [[nodiscard]] int num_layers() const {
     return static_cast<int>(dims_.size()) - 1;
   }
+  /// Original -> permuted vertex id mapping produced by preprocessing.
+  [[nodiscard]] std::span<const std::uint32_t> perm() const { return perm_; }
+  /// Layer-dimension chain [d_0, hidden..., classes].
+  [[nodiscard]] std::span<const std::int64_t> dims() const { return dims_; }
+  /// Whether layer `layer` runs its SpMM before its GeMM (§4.4 switch).
+  [[nodiscard]] bool layer_spmm_first(int layer) const {
+    return plan_[static_cast<std::size_t>(layer)].spmm_first;
+  }
+  /// Gathers layer `layer`'s activations O_l (layer == -1: the input X) in
+  /// *permuted* vertex order, concatenated across ranks. Real mode only —
+  /// the inference server materializes its embedding store from this.
+  [[nodiscard]] dense::HostMatrix gather_activations(int layer) const;
 
  private:
   struct LayerPlan {

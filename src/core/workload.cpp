@@ -1,0 +1,125 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mggcn::serve {
+
+namespace {
+// splitmix64 advances its state argument in place; mix a copy so the
+// caller's seed is untouched.
+std::uint64_t mix_seed(std::uint64_t seed) { return util::splitmix64(seed); }
+}  // namespace
+
+WorkloadGen::WorkloadGen(std::int64_t num_vertices, WorkloadOptions options)
+    : num_vertices_(num_vertices),
+      options_(options),
+      rng_(options.seed),
+      update_rng_(mix_seed(options.seed) ^ 0x5e7e5e7e5e7e5e7eULL) {
+  MGGCN_CHECK_MSG(num_vertices > 0, "workload needs a non-empty graph");
+  MGGCN_CHECK_MSG(options_.rate_qps > 0.0, "workload rate must be positive");
+  if (options_.arrival == ArrivalProcess::kBursty) {
+    MGGCN_CHECK_MSG(
+        options_.burst_factor >= 1.0 && options_.burst_fraction > 0.0 &&
+            options_.burst_fraction < 1.0 && options_.burst_period > 0.0,
+        "bursty arrivals need burst_factor >= 1, burst_fraction in (0, 1), "
+        "and a positive burst_period");
+  }
+  if (options_.skew == QuerySkew::kZipf) {
+    MGGCN_CHECK_MSG(options_.zipf_theta > 0.0, "zipf_theta must be positive");
+    // Popularity CDF over ranks, and a deterministic rank -> vertex shuffle
+    // so the hot ranks land all over the id space (and hence across
+    // partitions) instead of clustering at vertex 0.
+    zipf_cdf_.resize(static_cast<std::size_t>(num_vertices_));
+    double total = 0.0;
+    for (std::int64_t r = 0; r < num_vertices_; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -options_.zipf_theta);
+      zipf_cdf_[static_cast<std::size_t>(r)] = total;
+    }
+    for (auto& c : zipf_cdf_) c /= total;
+    util::Rng shuffle_rng(mix_seed(options.seed ^ 0x21fULL));
+    rank_vertex_ = shuffle_rng.permutation<std::uint32_t>(
+        static_cast<std::size_t>(num_vertices_));
+  }
+}
+
+double WorkloadGen::next_arrival() {
+  if (options_.arrival == ArrivalProcess::kPoisson) {
+    const double u = rng_.uniform();
+    clock_ += -std::log1p(-u) / options_.rate_qps;
+    return clock_;
+  }
+  // Non-homogeneous Poisson by thinning: propose at the peak rate, accept
+  // with probability rate(t)/peak. The off-phase rate is scaled so the
+  // long-run mean stays rate_qps (floored at 0: with the default
+  // burst_fraction * burst_factor == 1 every arrival is inside a burst).
+  const double peak = options_.rate_qps * options_.burst_factor;
+  const double off_rate =
+      std::max(0.0, options_.rate_qps *
+                        (1.0 - options_.burst_fraction * options_.burst_factor) /
+                        (1.0 - options_.burst_fraction));
+  const double on_window = options_.burst_fraction * options_.burst_period;
+  while (true) {
+    const double u = rng_.uniform();
+    clock_ += -std::log1p(-u) / peak;
+    const double phase = std::fmod(clock_, options_.burst_period);
+    const double rate = phase < on_window ? peak : off_rate;
+    if (rng_.uniform() * peak < rate) return clock_;
+  }
+}
+
+std::uint32_t WorkloadGen::draw_vertex() {
+  if (options_.skew == QuerySkew::kUniform) {
+    return static_cast<std::uint32_t>(
+        rng_.uniform_index(static_cast<std::size_t>(num_vertices_)));
+  }
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const auto rank = std::min<std::size_t>(
+      static_cast<std::size_t>(it - zipf_cdf_.begin()),
+      zipf_cdf_.size() - 1);
+  return rank_vertex_[rank];
+}
+
+std::vector<Request> WorkloadGen::generate(std::int64_t count) {
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(std::max<std::int64_t>(count, 0)));
+  for (std::int64_t i = 0; i < count; ++i) {
+    Request req;
+    req.arrival = next_arrival();
+    req.vertex = draw_vertex();
+    req.deadline =
+        options_.deadline > 0.0 ? req.arrival + options_.deadline : 0.0;
+    out.push_back(req);
+  }
+  return out;
+}
+
+std::vector<GraphUpdate> WorkloadGen::generate_updates(double horizon) {
+  std::vector<GraphUpdate> out;
+  if (options_.update_rate <= 0.0 || horizon <= 0.0) return out;
+  double t = 0.0;
+  while (true) {
+    const double u = update_rng_.uniform();
+    t += -std::log1p(-u) / options_.update_rate;
+    if (t >= horizon) break;
+    GraphUpdate update;
+    update.time = t;
+    update.vertices.reserve(
+        static_cast<std::size_t>(options_.update_touch));
+    for (std::int64_t i = 0; i < options_.update_touch; ++i) {
+      update.vertices.push_back(static_cast<std::uint32_t>(
+          update_rng_.uniform_index(static_cast<std::size_t>(num_vertices_))));
+    }
+    std::sort(update.vertices.begin(), update.vertices.end());
+    update.vertices.erase(
+        std::unique(update.vertices.begin(), update.vertices.end()),
+        update.vertices.end());
+    out.push_back(std::move(update));
+  }
+  return out;
+}
+
+}  // namespace mggcn::serve

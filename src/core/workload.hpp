@@ -1,0 +1,112 @@
+// Open-loop serving workload generator.
+//
+// Serving is evaluated under *open-loop* load: requests arrive on the
+// simulated clock at times drawn from a seeded arrival process, independent
+// of how fast the server drains them — so queueing delay shows up in the
+// latency distribution instead of silently throttling the offered rate
+// (closed-loop coordination omission). Two arrival processes:
+//
+//   - kPoisson: exponential inter-arrivals at `rate_qps`.
+//   - kBursty:  a square-wave modulated Poisson process — a fraction
+//               `burst_fraction` of each `burst_period` runs at
+//               `burst_factor` times the base rate (the off-phase rate is
+//               scaled down so the long-run mean stays `rate_qps`).
+//
+// Query vertices are drawn uniformly or from a Zipf(theta) popularity
+// distribution over a deterministically shuffled vertex ranking (so "hot"
+// vertices are spread across the id space and hence across partitions,
+// instead of all landing on rank 0).
+//
+// The generator can also emit simulated *graph-update* events (feature
+// refreshes touching `update_touch` random vertices at `update_rate` events
+// per second). Updates are timing-only: the serving tier evicts the touched
+// rows from its embedding cache and charges the bookkeeping, but the
+// underlying values never change — predictions stay bit-identical to the
+// trainer's forward pass.
+//
+// Everything is a pure function of (options, seed): the same options
+// reproduce the same trace across runs, machines, and scheduling fuzz.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mggcn::serve {
+
+enum class ArrivalProcess { kPoisson, kBursty };
+enum class QuerySkew { kUniform, kZipf };
+
+struct WorkloadOptions {
+  /// Long-run mean arrival rate, requests per simulated second.
+  double rate_qps = 10000.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// kBursty: rate multiplier during the on-phase.
+  double burst_factor = 4.0;
+  /// kBursty: fraction of each period spent in the on-phase, in (0, 1).
+  double burst_fraction = 0.25;
+  /// kBursty: period of the square wave, simulated seconds.
+  double burst_period = 10e-3;
+
+  QuerySkew skew = QuerySkew::kUniform;
+  /// kZipf: popularity exponent (rank r drawn with weight 1/r^theta).
+  double zipf_theta = 0.99;
+
+  /// Per-request latency deadline, simulated seconds (for the
+  /// deadline-miss-rate accounting; 0 disables).
+  double deadline = 2e-3;
+
+  /// Graph-update events per simulated second (0 disables).
+  double update_rate = 0.0;
+  /// Vertices touched by each update event.
+  std::int64_t update_touch = 64;
+
+  std::uint64_t seed = 1;
+};
+
+/// One node-classification query.
+struct Request {
+  double arrival = 0.0;       ///< simulated arrival time
+  std::uint32_t vertex = 0;   ///< original (un-permuted) vertex id
+  double deadline = 0.0;      ///< absolute deadline (0 = none)
+};
+
+/// One simulated feature-refresh event.
+struct GraphUpdate {
+  double time = 0.0;
+  /// Touched original vertex ids, ascending and duplicate-free.
+  std::vector<std::uint32_t> vertices;
+};
+
+class WorkloadGen {
+ public:
+  WorkloadGen(std::int64_t num_vertices, WorkloadOptions options);
+
+  /// The next `count` requests, arrival-ordered, continuing from the last
+  /// generated timestamp.
+  [[nodiscard]] std::vector<Request> generate(std::int64_t count);
+
+  /// Update events in [0, horizon), time-ordered (empty when
+  /// update_rate == 0).
+  [[nodiscard]] std::vector<GraphUpdate> generate_updates(double horizon);
+
+  [[nodiscard]] const WorkloadOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] double next_arrival();
+  [[nodiscard]] std::uint32_t draw_vertex();
+
+  std::int64_t num_vertices_;
+  WorkloadOptions options_;
+  util::Rng rng_;
+  util::Rng update_rng_;
+  double clock_ = 0.0;
+
+  /// kZipf: cumulative popularity over ranks, and the deterministic
+  /// rank -> vertex shuffle that spreads hot ranks across the id space.
+  std::vector<double> zipf_cdf_;
+  std::vector<std::uint32_t> rank_vertex_;
+};
+
+}  // namespace mggcn::serve

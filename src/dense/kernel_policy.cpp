@@ -1,28 +1,19 @@
 #include "dense/kernel_policy.hpp"
 
 #include <atomic>
-#include <cstdlib>
 
 #include "dense/kernels.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace mggcn::dense {
 
 namespace {
 
-KernelPolicy policy_from_env() {
-  const char* env = std::getenv("MGGCN_KERNELS");
-  if (env == nullptr || *env == '\0') return KernelPolicy::kPlanned;
-  const auto parsed = parse_kernel_policy(env);
-  MGGCN_CHECK_MSG(parsed.has_value(),
-                  std::string("MGGCN_KERNELS must be 'naive', 'tiled', or "
-                              "'planned', got '") +
-                      env + "'");
-  return *parsed;
-}
-
 std::atomic<KernelPolicy>& active_policy() {
-  static std::atomic<KernelPolicy> policy{policy_from_env()};
+  static std::atomic<KernelPolicy> policy{
+      util::env_enum("MGGCN_KERNELS", KernelPolicy::kPlanned,
+                     parse_kernel_policy, "'naive', 'tiled', or 'planned'")};
   return policy;
 }
 

@@ -91,6 +91,16 @@ PipelineCounters Trace::pipeline_counters() const {
   return pipeline_counters_;
 }
 
+void Trace::record_serve(const ServeCounters& delta) {
+  std::lock_guard lock(mutex_);
+  serve_counters_ += delta;
+}
+
+ServeCounters Trace::serve_counters() const {
+  std::lock_guard lock(mutex_);
+  return serve_counters_;
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
@@ -99,6 +109,7 @@ void Trace::clear() {
   comm_volume_ = CommVolume{};
   plan_counters_ = PlanCounters{};
   pipeline_counters_ = PipelineCounters{};
+  serve_counters_ = ServeCounters{};
 }
 
 std::vector<HazardRecord> Trace::hazard_records() const {

@@ -158,6 +158,41 @@ struct PipelineCounters {
   }
 };
 
+/// Aggregate inference-serving counters (core::InferenceServer records one
+/// delta per micro-batch at enqueue time, like PipelineCounters, so the
+/// counters are deterministic regardless of worker scheduling). Latency
+/// percentiles are computed by the server from per-request completion
+/// times; these totals feed the EpochStats-style serve_* fields and the
+/// bench --json artifacts.
+struct ServeCounters {
+  /// Queries served (one node-classification request each).
+  std::uint64_t requests = 0;
+  /// Micro-batches executed.
+  std::uint64_t batches = 0;
+  /// Embedding-tier cache outcomes of the gather stage.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Simulated graph-update events processed, and cached rows they evicted.
+  std::uint64_t graph_updates = 0;
+  std::uint64_t invalidations = 0;
+  /// Cost-model-priced busy seconds of the gather (local + cache + remote
+  /// pull) and inference (SpMM/GeMM) stages, summed over batches.
+  double gather_seconds = 0.0;
+  double infer_seconds = 0.0;
+
+  ServeCounters& operator+=(const ServeCounters& o) {
+    requests += o.requests;
+    batches += o.batches;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    graph_updates += o.graph_updates;
+    invalidations += o.invalidations;
+    gather_seconds += o.gather_seconds;
+    infer_seconds += o.infer_seconds;
+    return *this;
+  }
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -184,6 +219,8 @@ class Trace {
   void record_plan(const PlanCounters& delta);
   /// Accumulates one sampled-pipeline round's stage/cache counters.
   void record_pipeline(const PipelineCounters& delta);
+  /// Accumulates one served micro-batch's request/cache counters.
+  void record_serve(const ServeCounters& delta);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -206,6 +243,10 @@ class Trace {
   /// Running sampled-pipeline totals (snapshot; per-epoch figures
   /// difference two snapshots).
   [[nodiscard]] PipelineCounters pipeline_counters() const;
+
+  /// Running inference-serving totals (snapshot; per-window stats
+  /// difference two snapshots).
+  [[nodiscard]] ServeCounters serve_counters() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -237,6 +278,7 @@ class Trace {
   CommVolume comm_volume_;
   PlanCounters plan_counters_;
   PipelineCounters pipeline_counters_;
+  ServeCounters serve_counters_;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,

@@ -80,17 +80,53 @@ std::string CliParser::get(const std::string& name) const {
   return it->second;
 }
 
+namespace {
+
+// Strict numeric parsing: the whole token must be consumed, and any
+// std::stoll/std::stod failure is rewrapped to name the offending flag
+// (mirrors sim/fault.cpp's parse_int for fault specs).
+std::int64_t parse_full_int(const std::string& s, const std::string& name) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(s, &used);
+    MGGCN_CHECK_MSG(used == s.size(),
+                    "invalid integer for --" + name + ": '" + s + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError("invalid integer for --" + name + ": '" + s +
+                               "'");
+  }
+}
+
+double parse_full_double(const std::string& s, const std::string& name) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    MGGCN_CHECK_MSG(used == s.size(),
+                    "invalid number for --" + name + ": '" + s + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError("invalid number for --" + name + ": '" + s +
+                               "'");
+  }
+}
+
+}  // namespace
+
 std::int64_t CliParser::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  return parse_full_int(get(name), name);
 }
 
 double CliParser::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  return parse_full_double(get(name), name);
 }
 
 bool CliParser::get_bool(const std::string& name) const {
   const std::string v = get(name);
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgumentError("invalid boolean for --" + name + ": '" + v +
+                             "' (expected true/1/yes/on or false/0/no/off)");
 }
 
 std::vector<std::string> CliParser::get_list(const std::string& name) const {
@@ -106,7 +142,9 @@ std::vector<std::string> CliParser::get_list(const std::string& name) const {
 std::vector<std::int64_t> CliParser::get_int_list(
     const std::string& name) const {
   std::vector<std::int64_t> out;
-  for (const auto& item : get_list(name)) out.push_back(std::stoll(item));
+  for (const auto& item : get_list(name)) {
+    out.push_back(parse_full_int(item, name));
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "util/blocking_queue.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -128,6 +129,158 @@ TEST(Cli, HelpRequested) {
   cli.parse(2, argv);
   EXPECT_TRUE(cli.help_requested());
   EXPECT_FALSE(cli.help().empty());
+}
+
+// A malformed numeric value must fail loudly and name the offending flag —
+// "--alpha 5x" silently parsing as 5 once corrupted an experiment sweep.
+TEST(Cli, StrictIntRejectsTrailingGarbage) {
+  CliParser cli("test");
+  cli.option("alpha", "1", "a");
+  const char* argv[] = {"prog", "--alpha", "5x"};
+  cli.parse(3, argv);
+  try {
+    (void)cli.get_int("alpha");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("--alpha"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5x"), std::string::npos);
+  }
+}
+
+TEST(Cli, StrictIntRejectsNonNumericAndEmpty) {
+  CliParser cli("test");
+  cli.option("alpha", "nope", "a").option("beta", "", "b");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW((void)cli.get_int("alpha"), InvalidArgumentError);
+  EXPECT_THROW((void)cli.get_int("beta"), InvalidArgumentError);
+}
+
+TEST(Cli, StrictDoubleRejectsTrailingGarbage) {
+  CliParser cli("test");
+  cli.option("rate", "1.0", "r");
+  const char* argv[] = {"prog", "--rate=2.5qps"};
+  cli.parse(2, argv);
+  try {
+    (void)cli.get_double("rate");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos);
+  }
+  const char* argv2[] = {"prog", "--rate", "0.125"};
+  cli.parse(3, argv2);
+  EXPECT_EQ(cli.get_double("rate"), 0.125);
+}
+
+TEST(Cli, IntListRejectsBadItemNamingFlag) {
+  CliParser cli("test");
+  cli.option("gpus", "1,2,4x,8", "g");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  try {
+    (void)cli.get_int_list("gpus");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("--gpus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4x"), std::string::npos);
+  }
+}
+
+TEST(Cli, BoolAcceptsDocumentedTokensOnly) {
+  CliParser cli("test");
+  cli.option("check", "true", "c");
+  const char* argv0[] = {"prog"};
+  for (const char* token : {"true", "1", "yes", "on"}) {
+    const char* argv[] = {"prog", "--check", token};
+    cli.parse(3, argv);
+    EXPECT_TRUE(cli.get_bool("check")) << token;
+  }
+  for (const char* token : {"false", "0", "no", "off"}) {
+    const char* argv[] = {"prog", "--check", token};
+    cli.parse(3, argv);
+    EXPECT_FALSE(cli.get_bool("check")) << token;
+  }
+  // "TRUE", "2", "enabled" used to coerce to false silently.
+  for (const char* token : {"TRUE", "2", "enabled", ""}) {
+    const char* argv[] = {"prog", "--check", token};
+    cli.parse(3, argv);
+    try {
+      (void)cli.get_bool("check");
+      FAIL() << "expected InvalidArgumentError for '" << token << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("--check"), std::string::npos);
+    }
+  }
+  (void)argv0;
+}
+
+// The env helpers back every MGGCN_* registry; the registries latch their
+// statics on first use, so exercise the helpers directly on scratch names.
+TEST(Env, IntFullConsumptionAndRangeNameTheKnob) {
+  unsetenv("MGGCN_TEST_INT");
+  EXPECT_EQ(env_int("MGGCN_TEST_INT", 7, 1, 100), 7);
+  setenv("MGGCN_TEST_INT", "", 1);
+  EXPECT_EQ(env_int("MGGCN_TEST_INT", 7, 1, 100), 7);
+  setenv("MGGCN_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("MGGCN_TEST_INT", 7, 1, 100), 42);
+  for (const char* bad : {"42x", "abc", "1e3", "0", "101"}) {
+    setenv("MGGCN_TEST_INT", bad, 1);
+    try {
+      env_int("MGGCN_TEST_INT", 7, 1, 100);
+      FAIL() << "expected InvalidArgumentError for '" << bad << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("MGGCN_TEST_INT"),
+                std::string::npos);
+    }
+  }
+  unsetenv("MGGCN_TEST_INT");
+}
+
+TEST(Env, DoubleFullConsumptionNamesTheKnob) {
+  unsetenv("MGGCN_TEST_DOUBLE");
+  EXPECT_EQ(env_double("MGGCN_TEST_DOUBLE", 0.5, 0.0, 1.0, "a fraction"),
+            0.5);
+  setenv("MGGCN_TEST_DOUBLE", "0.25", 1);
+  EXPECT_EQ(env_double("MGGCN_TEST_DOUBLE", 0.5, 0.0, 1.0, "a fraction"),
+            0.25);
+  for (const char* bad : {"0.25x", "lots", "-0.1", "1.5"}) {
+    setenv("MGGCN_TEST_DOUBLE", bad, 1);
+    try {
+      env_double("MGGCN_TEST_DOUBLE", 0.5, 0.0, 1.0, "a fraction");
+      FAIL() << "expected InvalidArgumentError for '" << bad << "'";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find("MGGCN_TEST_DOUBLE"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("a fraction"), std::string::npos);
+    }
+  }
+  unsetenv("MGGCN_TEST_DOUBLE");
+}
+
+TEST(Env, EnumTypoFailsLoudlyNamingKnobAndTokens) {
+  enum class Color { kRed, kBlue };
+  const auto parse = [](std::string_view s) -> std::optional<Color> {
+    if (s == "red") return Color::kRed;
+    if (s == "blue") return Color::kBlue;
+    return std::nullopt;
+  };
+  unsetenv("MGGCN_TEST_ENUM");
+  EXPECT_EQ(env_enum("MGGCN_TEST_ENUM", Color::kRed, parse, "'red' or 'blue'"),
+            Color::kRed);
+  setenv("MGGCN_TEST_ENUM", "blue", 1);
+  EXPECT_EQ(env_enum("MGGCN_TEST_ENUM", Color::kRed, parse, "'red' or 'blue'"),
+            Color::kBlue);
+  setenv("MGGCN_TEST_ENUM", "blu", 1);
+  try {
+    env_enum("MGGCN_TEST_ENUM", Color::kRed, parse, "'red' or 'blue'");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MGGCN_TEST_ENUM"), std::string::npos);
+    EXPECT_NE(what.find("'red' or 'blue'"), std::string::npos);
+    EXPECT_NE(what.find("blu"), std::string::npos);
+  }
+  unsetenv("MGGCN_TEST_ENUM");
 }
 
 TEST(Table, RendersAlignedColumns) {
