@@ -79,6 +79,16 @@ graph::Dataset load_cli_replica(const util::CliParser& cli,
   return load_replica(spec, resolved_scale(cli, spec));
 }
 
+graph::Dataset load_cli_featured_replica(const util::CliParser& cli,
+                                         const std::string& name) {
+  const graph::DatasetSpec spec = graph::dataset_by_name(name);
+  graph::DatasetOptions options;
+  options.scale = resolved_scale(cli, spec);
+  options.seed = 42;
+  options.with_features = true;
+  return graph::make_dataset(spec, options);
+}
+
 bool write_json(const util::CliParser& cli, const std::string& bench_name,
                 const std::string& rows) {
   const std::string path = cli.get("json");
@@ -163,6 +173,10 @@ EpochResult run_epoch(System system, const sim::MachineProfile& machine_prof,
         static_cast<double>(stats.part_inter_node_ghost_rows) * x);
     result.part_avg_ghost_density = stats.part_avg_ghost_density;
     result.part_imbalance = stats.part_imbalance;
+    result.pool_peak_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stats.pool_peak_bytes) * x);
+    result.pool_reuse_hits = stats.pool_reuse_hits;
+    result.pool_fragmentation = stats.pool_fragmentation;
   } catch (const OutOfMemoryError&) {
     result.oom = true;
   }
@@ -284,6 +298,14 @@ std::string part_json_fragment(const EpochResult& result) {
      << ", \"inter_node_ghost_rows\": " << result.part_inter_node_ghost_rows
      << ", \"avg_ghost_density\": " << result.part_avg_ghost_density
      << ", \"imbalance\": " << result.part_imbalance << "}";
+  return os.str();
+}
+
+std::string pool_json_fragment(const EpochResult& result) {
+  std::ostringstream os;
+  os << "\"pool\": {\"peak_bytes\": " << result.pool_peak_bytes
+     << ", \"reuse_hits\": " << result.pool_reuse_hits
+     << ", \"fragmentation\": " << result.pool_fragmentation << "}";
   return os.str();
 }
 

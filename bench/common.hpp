@@ -49,6 +49,13 @@ double resolved_scale(const util::CliParser& cli,
 graph::Dataset load_cli_replica(const util::CliParser& cli,
                                 const std::string& name);
 
+/// load_cli_replica for benches that run real-mode numerics (e.g. the
+/// workspace-pool parity cells): materializes features/labels/splits.
+/// Not disk-cached — the feature matrix dominates the file size and
+/// regenerates in milliseconds at bench scales.
+graph::Dataset load_cli_featured_replica(const util::CliParser& cli,
+                                         const std::string& name);
+
 /// Writes `{"bench": <name>, "rows": [<rows>]}` to the --json path if one
 /// was given. Returns false (after printing an error) when the write
 /// failed, so mains can `return write_json(...) ? 0 : 1;`.
@@ -96,6 +103,11 @@ struct EpochResult {
   std::int64_t part_inter_node_ghost_rows = 0;
   double part_avg_ghost_density = 0.0;
   double part_imbalance = 1.0;
+  /// Workspace-pool counters (peak full-scale extrapolated, hits replica
+  /// counts; all zero when MGGCN_POOL resolves to the static path).
+  std::uint64_t pool_peak_bytes = 0;
+  std::uint64_t pool_reuse_hits = 0;
+  double pool_fragmentation = 0.0;
 };
 
 /// Builds a phantom-mode machine + the requested system and measures one
@@ -121,6 +133,10 @@ std::string plan_json_fragment(const EpochResult& result);
 /// The epoch's partitioner cut-quality counters as a JSON object fragment
 /// (`"part_stats": {...}`), for splicing into a bench's --json rows.
 std::string part_json_fragment(const EpochResult& result);
+
+/// The epoch's workspace-pool counters as a JSON object fragment
+/// (`"pool": {...}`), for splicing into a bench's --json rows.
+std::string pool_json_fragment(const EpochResult& result);
 
 /// The sampled pipeline's cache + stage counters as a JSON object fragment
 /// (`"pipeline": {...}`). Stage seconds are extrapolated by `x`; counters

@@ -85,6 +85,19 @@ and enforces three properties:
    ``serve`` section, each group's deadline-over-per-request QPS ratio
    is also checked against it with the ``--max-regression`` allowance.
 
+9. **Workspace-pool gate** (``--mem <json>``, from
+   ``bench_memory_pool --json``): on every (workload, dataset, gpus,
+   layers) cell the pooled peak bytes must not exceed the static peak
+   (the stream-ordered pool must never cost memory), every cell must
+   report bit-identical numerics across ``MGGCN_POOL`` modes and the
+   sched-fuzz seeds (``parity``) with a clean hazard ledger
+   (``hazard_clean``), and at least one ``combined`` pipeline+serving
+   cell at ``gpus >= --mem-gate-min-gpus`` must cut the footprint by
+   ``--mem-combined-reduction`` (default 1.2x) — the cross-component
+   reuse payoff of sharing one pool budget. When the committed baseline
+   has a ``mem`` section, each cell's static-over-pooled reduction is
+   also checked against it with the ``--max-regression`` allowance.
+
 Checks 2 and 3 are machine-independent: both sides of each ratio come
 from the same run on the same host. They are still noise-sensitive, so
 CI runs the bench with ``--benchmark_enable_random_interleaving=true``
@@ -518,6 +531,86 @@ def serve_groups(rows: list[dict]) -> dict[tuple, dict[tuple, dict]]:
     return groups
 
 
+def load_mem_rows(path: Path) -> list[dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "memory-pool":
+        raise ValueError(f"{path} is not a bench_memory_pool JSON "
+                         f"(bench = {doc.get('bench')!r})")
+    return doc.get("rows", [])
+
+
+def check_mem(rows: list[dict], combined_reduction: float,
+              gate_min_gpus: int) -> tuple[list[str], list[str],
+                                           dict[str, float]]:
+    """The workspace-pool gate over bench_memory_pool rows."""
+    failures, report = [], []
+    reductions: dict[str, float] = {}
+    best_combined: tuple[float, str] | None = None
+    combined_gate_rows = 0
+    for row in rows:
+        name = (f"{row['workload']}/{row['dataset']}/gpus:{row['gpus']}"
+                f"/layers:{row['layers']}")
+        reduction = row.get("reduction", 0.0)
+        reductions[name] = reduction
+        report.append(
+            f"mem {name}: pooled {row['pooled_peak_bytes']} B vs static "
+            f"{row['static_peak_bytes']} B ({reduction:.2f}x, "
+            f"{row.get('reuse_hits', 0)} reuse hits)")
+
+        # The pool must never cost memory: exact-size slabs, the
+        # split-waste cap, and trim-before-grow keep the pooled ledger at
+        # or below the static scheme's on every workload.
+        if row["pooled_peak_bytes"] > row["static_peak_bytes"]:
+            failures.append(
+                f"mem: pooled peak exceeds static on {name}: "
+                f"{row['pooled_peak_bytes']} B > "
+                f"{row['static_peak_bytes']} B")
+        # Recycling changes where scratch lives, never what it holds.
+        if not row.get("parity", False):
+            failures.append(
+                f"mem: numerics not bit-identical across MGGCN_POOL modes "
+                f"x sched-fuzz seeds on {name}")
+        if not row.get("hazard_clean", False):
+            failures.append(
+                f"mem: hazard checker flagged the recycling on {name}")
+
+        if row["workload"] == "combined" and row["gpus"] >= gate_min_gpus:
+            combined_gate_rows += 1
+            if best_combined is None or reduction > best_combined[0]:
+                best_combined = (reduction, name)
+    if combined_gate_rows == 0:
+        failures.append(
+            f"mem gate: no combined pipeline+serving cell at gpus >= "
+            f"{gate_min_gpus}; the cross-component reuse gate did not run")
+    elif best_combined is None or best_combined[0] < combined_reduction:
+        where = (f" (best: {best_combined[1]} at {best_combined[0]:.2f}x)"
+                 if best_combined else "")
+        failures.append(
+            f"mem gate: no combined cell reaches a "
+            f"{combined_reduction:.2f}x reuse-driven footprint "
+            f"reduction{where}")
+    return failures, report, reductions
+
+
+def check_mem_baseline(reductions: dict[str, float],
+                       baseline: dict[str, float],
+                       max_regression: float) -> list[str]:
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in reductions:
+            print(f"warning: baseline mem config not in current run: "
+                  f"{name}", file=sys.stderr)
+            continue
+        floor = base * (1.0 - max_regression)
+        if reductions[name] < floor:
+            failures.append(
+                f"mem regression: {name}: footprint reduction is "
+                f"{reductions[name]:.2f}x < {floor:.2f}x "
+                f"(baseline {base:.2f}x, allowed -{max_regression:.0%})")
+    return failures
+
+
 def check_serve(rows: list[dict], batch_speedup: float, gate_min_gpus: int,
                 min_vs_off: float) -> tuple[list[str], list[str],
                                             dict[str, float]]:
@@ -751,6 +844,15 @@ def main() -> int:
     parser.add_argument("--serve-min-speedup", type=float, default=0.999,
                         help="auto-cache-over-off QPS ratio required on "
                         "every serving config (default: %(default)s)")
+    parser.add_argument("--mem", type=Path, default=None,
+                        help="bench_memory_pool JSON to gate (check 9)")
+    parser.add_argument("--mem-combined-reduction", type=float, default=1.2,
+                        help="static-over-pooled peak-bytes ratio at least "
+                        "one combined pipeline+serving cell must reach "
+                        "(default: %(default)s)")
+    parser.add_argument("--mem-gate-min-gpus", type=int, default=4,
+                        help="smallest device count the combined-reduction "
+                        "gate applies to (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run "
                         "instead of checking against it")
@@ -758,10 +860,11 @@ def main() -> int:
 
     if (args.current is None and args.comm is None and args.plan is None
             and args.part is None and args.cache is None
-            and args.serve is None):
+            and args.serve is None and args.mem is None):
         print("error: pass a bench_kernels JSON, --comm <json>, "
               "--plan <json>, --part <json>, --cache <json>, "
-              "--serve <json>, or a combination", file=sys.stderr)
+              "--serve <json>, --mem <json>, or a combination",
+              file=sys.stderr)
         return 1
 
     current: dict[str, float] = {}
@@ -784,6 +887,8 @@ def main() -> int:
     serve_rows = (load_serve_rows(args.serve)
                   if args.serve is not None else None)
     serve_speedups: dict[str, float] = {}
+    mem_rows = load_mem_rows(args.mem) if args.mem is not None else None
+    mem_reductions: dict[str, float] = {}
 
     if args.update:
         payload = {}
@@ -828,13 +933,20 @@ def main() -> int:
                 args.serve_gate_min_gpus, args.serve_min_speedup)
             payload["serve"] = {
                 k: serve_speedups[k] for k in sorted(serve_speedups)}
+        if mem_rows is not None:
+            _, _, mem_reductions = check_mem(
+                mem_rows, args.mem_combined_reduction,
+                args.mem_gate_min_gpus)
+            payload["mem"] = {
+                k: mem_reductions[k] for k in sorted(mem_reductions)}
         args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(current)} "
               f"benchmarks, {len(comm_speedups)} comm configs, "
               f"{len(plan_speedups)} plan configs, "
               f"{len(part_speedups)} part configs, "
               f"{len(cache_speedups)} cache configs, "
-              f"{len(serve_speedups)} serve configs)")
+              f"{len(serve_speedups)} serve configs, "
+              f"{len(mem_reductions)} mem cells)")
         return 0
 
     failures: list[str] = []
@@ -910,8 +1022,17 @@ def main() -> int:
             failures += check_serve_baseline(serve_speedups,
                                              baseline_doc["serve"],
                                              args.max_regression)
+    mem_report: list[str] = []
+    if mem_rows is not None:
+        mem_failures, mem_report, mem_reductions = check_mem(
+            mem_rows, args.mem_combined_reduction, args.mem_gate_min_gpus)
+        failures += mem_failures
+        if "mem" in baseline_doc:
+            failures += check_mem_baseline(mem_reductions,
+                                           baseline_doc["mem"],
+                                           args.max_regression)
     for line in (report + planned_report + comm_report + plan_report +
-                 part_report + cache_report + serve_report):
+                 part_report + cache_report + serve_report + mem_report):
         print(line)
 
     if failures:
@@ -924,7 +1045,8 @@ def main() -> int:
           f"{len(plan_speedups)} plan configs, "
           f"{len(part_speedups)} part configs, "
           f"{len(cache_speedups)} cache configs, "
-          f"{len(serve_speedups)} serve configs checked)")
+          f"{len(serve_speedups)} serve configs, "
+          f"{len(mem_reductions)} mem cells checked)")
     return 0
 
 

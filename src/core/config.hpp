@@ -2,12 +2,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/comm_mode.hpp"
 #include "core/part_mode.hpp"
 #include "core/plan_mode.hpp"
+#include "mem/pool_mode.hpp"
+
+namespace mggcn::mem {
+class PoolSet;
+}
 
 namespace mggcn::core {
 
@@ -68,6 +74,17 @@ struct TrainConfig {
   double beta1 = 0.9;
   double beta2 = 0.999;
   double epsilon = 1e-8;
+
+  /// Whether device buffers come from the stream-ordered workspace pool
+  /// (mem::WorkspacePool) or are statically owned. Defaults to the
+  /// process-wide MGGCN_POOL setting (read at config construction); kOff
+  /// preserves the pre-pool allocation behaviour bit for bit. See
+  /// mem/pool_mode.hpp for the off/on/auto semantics.
+  mem::PoolMode pool_mode = mem::pool_mode();
+  /// Shared per-machine workspace pools (mem::PoolSet::create) so several
+  /// tenants — trainer, sampled pipeline, inference server — recycle one
+  /// budget. Null: kOn self-creates a private set, kOff/kAuto stay static.
+  std::shared_ptr<mem::PoolSet> pool;
 
   std::uint64_t seed = 1;
 

@@ -8,7 +8,12 @@
 namespace mggcn::core {
 
 FeatureCache::FeatureCache(sim::Device& device, std::int64_t d,
-                           std::int64_t capacity_rows, CacheMode mode) {
+                           std::int64_t capacity_rows, CacheMode mode)
+    : FeatureCache(nullptr, device, d, capacity_rows, mode) {}
+
+FeatureCache::FeatureCache(mem::WorkspacePool* pool, sim::Device& device,
+                           std::int64_t d, std::int64_t capacity_rows,
+                           CacheMode mode) {
   MGGCN_CHECK_MSG(mode != CacheMode::kAuto,
                   "resolve kAuto through FeatureCache::plan_auto first");
   MGGCN_CHECK(d > 0 && capacity_rows >= 0);
@@ -16,8 +21,8 @@ FeatureCache::FeatureCache(sim::Device& device, std::int64_t d,
   mode_ = mode;
   d_ = d;
   capacity_rows_ = capacity_rows;
-  buffer_ = sim::DeviceBuffer(
-      device, static_cast<std::size_t>(capacity_rows * d), "FCACHE");
+  buffer_ = mem::acquire_or_alloc(
+      pool, device, static_cast<std::size_t>(capacity_rows * d), "FCACHE");
   slot_vertex_.reserve(static_cast<std::size_t>(capacity_rows));
 }
 

@@ -33,6 +33,7 @@
 
 #include "comm/communicator.hpp"
 #include "core/cache_mode.hpp"
+#include "mem/workspace_pool.hpp"
 #include "sim/device.hpp"
 
 namespace mggcn::core {
@@ -68,6 +69,14 @@ class FeatureCache {
   /// `device` immediately.
   FeatureCache(sim::Device& device, std::int64_t d, std::int64_t capacity_rows,
                CacheMode mode);
+
+  /// Same, but the backing rows are leased from `pool` (null falls back to
+  /// a static DeviceBuffer) so the cache's capacity counts against the one
+  /// pooled budget it shares with the engines — the CaPGNN joint-budget
+  /// pricing. Pass the pool's headroom (WorkspacePool::available_bytes) as
+  /// plan_auto's available_bytes when sizing a pooled cache.
+  FeatureCache(mem::WorkspacePool* pool, sim::Device& device, std::int64_t d,
+               std::int64_t capacity_rows, CacheMode mode);
 
   /// Resolves the requested mode against the cost model: a cached-row read
   /// costs a d-wide HBM gather; the same row uncached costs a sendv message
@@ -140,13 +149,15 @@ class FeatureCache {
   [[nodiscard]] std::int64_t row_width() const { return d_; }
   /// Device bytes pinned by the cache (0 when inactive).
   [[nodiscard]] std::uint64_t bytes() const { return buffer_.bytes(); }
-  [[nodiscard]] sim::DeviceBuffer& buffer() { return buffer_; }
+  [[nodiscard]] sim::DeviceBuffer& buffer() { return buffer_.buffer(); }
+  /// The lease itself (ready() events, recycling) for pooled setups.
+  [[nodiscard]] mem::PooledBuffer& lease() { return buffer_; }
 
  private:
   CacheMode mode_ = CacheMode::kOff;
   std::int64_t d_ = 0;
   std::int64_t capacity_rows_ = 0;
-  sim::DeviceBuffer buffer_;
+  mem::PooledBuffer buffer_;
   Stats stats_;
   /// vertex -> cache slot of the pinned rows.
   std::unordered_map<std::uint32_t, std::int64_t> slot_of_;

@@ -105,6 +105,7 @@ InferenceServer::InferenceServer(sim::Machine& machine, MgGcnTrainer& trainer,
   a_hat_t_ = adj.normalize_gcn().transpose();
 
   comm_ = std::make_unique<comm::Communicator>(machine_);
+  pool_ = mem::resolve_pool(options_.pool, machine_, options_.pool_mode);
 
   materialize_store(trainer);
 
@@ -112,17 +113,33 @@ InferenceServer::InferenceServer(sim::Machine& machine, MgGcnTrainer& trainer,
   replicas_.resize(static_cast<std::size_t>(comm_->size()));
   for (int r = 0; r < comm_->size(); ++r) {
     auto& device = machine_.device(r);
+    mem::WorkspacePool* pool = pool_ ? &pool_->pool(r) : nullptr;
     auto& rep = replicas_[static_cast<std::size_t>(r)];
-    rep.store_shard = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(partition_.size(r) * d_store_),
+    rep.store_shard = mem::acquire_or_alloc(
+        pool, device, static_cast<std::size_t>(partition_.size(r) * d_store_),
         "SERVE_STORE");
-    rep.out = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(options_.max_batch * d_out_),
+    rep.out = mem::acquire_or_alloc(
+        pool, device, static_cast<std::size_t>(options_.max_batch * d_out_),
         "SERVE_OUT");
     if (spmm_first_) {
-      rep.tmp = sim::DeviceBuffer(
-          device, static_cast<std::size_t>(options_.max_batch * d_store_),
+      rep.tmp = mem::acquire_or_alloc(
+          pool, device, static_cast<std::size_t>(options_.max_batch * d_store_),
           "SERVE_TMP");
+    }
+    if (pool != nullptr) {
+      // Long-lived serving state: join any previous tenants' completion
+      // events at the stream level once, so every later serving task
+      // inherits the reuse edge.
+      const auto guard = [&](const mem::PooledBuffer& buf) {
+        for (const sim::Event& e : buf.ready()) {
+          if (!e.valid()) continue;
+          device.compute_stream().wait_event(e);
+          device.comm_stream().wait_event(e);
+        }
+      };
+      guard(rep.store_shard);
+      guard(rep.out);
+      guard(rep.tmp);
     }
     if (real && store_.rows() > 0 && partition_.size(r) > 0) {
       dense::copy(store_.view().row(partition_.begin(r)),
@@ -133,6 +150,12 @@ InferenceServer::InferenceServer(sim::Machine& machine, MgGcnTrainer& trainer,
   }
 
   build_caches();
+}
+
+InferenceServer::~InferenceServer() {
+  // Pooled leases recycle on destruction; make sure no serving task still
+  // reads them (serve() synchronizes, but be safe against early teardown).
+  if (pool_ != nullptr) machine_.synchronize();
 }
 
 void InferenceServer::materialize_store(MgGcnTrainer& trainer) {
@@ -183,13 +206,25 @@ void InferenceServer::build_caches() {
   bool any_enabled = false;
   for (int r = 0; r < comm_->size(); ++r) {
     auto& device = machine_.device(r);
+    mem::WorkspacePool* pool = pool_ ? &pool_->pool(r) : nullptr;
+    // Pooled: the cache shares the pool budget with the serving buffers
+    // (free blocks are reusable headroom). Unpooled: the pre-pool formula,
+    // bit for bit.
     const std::uint64_t available =
-        device.profile().memory_bytes - device.memory_used();
+        pool != nullptr ? pool->available_bytes()
+                        : device.profile().memory_bytes - device.memory_used();
     decision = FeatureCache::plan_auto(requested, requested_rows, d_store_,
                                        *comm_, device.profile(), available);
     auto& rep = replicas_[static_cast<std::size_t>(r)];
-    rep.cache =
-        FeatureCache(device, d_store_, decision.capacity_rows, decision.mode);
+    rep.cache = FeatureCache(pool, device, d_store_, decision.capacity_rows,
+                             decision.mode);
+    if (pool != nullptr) {
+      for (const sim::Event& e : rep.cache.lease().ready()) {
+        if (!e.valid()) continue;
+        device.compute_stream().wait_event(e);
+        device.comm_stream().wait_event(e);
+      }
+    }
     if (!rep.cache.enabled()) continue;
     any_enabled = true;
 
@@ -650,9 +685,19 @@ ServeStats InferenceServer::serve(std::span<const serve::Request> requests,
   }
   const double base = machine_.align_clocks();
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    replicas_[r].scratch = sim::DeviceBuffer(
-        machine_.device(static_cast<int>(r)),
-        static_cast<std::size_t>(max_rows[r] * d_store_), "SERVE_GATHER");
+    sim::Device& device = machine_.device(static_cast<int>(r));
+    mem::WorkspacePool* pool =
+        pool_ ? &pool_->pool(static_cast<int>(r)) : nullptr;
+    replicas_[r].scratch = mem::acquire_or_alloc(
+        pool, device, static_cast<std::size_t>(max_rows[r] * d_store_),
+        "SERVE_GATHER");
+    if (pool != nullptr) {
+      for (const sim::Event& e : replicas_[r].scratch.ready()) {
+        if (!e.valid()) continue;
+        device.compute_stream().wait_event(e);
+        device.comm_stream().wait_event(e);
+      }
+    }
     replicas_[r].chain = sim::Event::signaled(base);
   }
   predictions_ =
@@ -738,6 +783,12 @@ ServeStats InferenceServer::serve(std::span<const serve::Request> requests,
   counters.gather_seconds = stats.serve_gather_seconds;
   counters.infer_seconds = stats.serve_infer_seconds;
   machine_.trace().record_serve(counters);
+
+  // Hand the gather scratch back between serve() calls so a co-resident
+  // trainer or pipeline can reuse the blocks. The machine was synchronized
+  // above, so recycling without a recorded event is hazard-clean (the
+  // host-side join already ordered every serving task).
+  for (auto& rep : replicas_) rep.scratch.recycle();
   return stats;
 }
 

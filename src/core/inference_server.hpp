@@ -52,6 +52,7 @@
 #include "core/workload.hpp"
 #include "dense/matrix.hpp"
 #include "graph/datasets.hpp"
+#include "mem/workspace_pool.hpp"
 #include "sim/machine.hpp"
 #include "sparse/csr.hpp"
 
@@ -82,6 +83,16 @@ struct ServeOptions {
   ServeCacheMode cache_mode = serve_cache_mode();
   /// Per-replica cache capacity as a fraction of the graph's vertices.
   double cache_capacity_fraction = 0.05;
+  /// Workspace-pool policy (see mem/pool_mode.hpp). Pooled modes lease the
+  /// store shards, serving scratch, and embedding caches from the
+  /// per-device pool — sharing one budget with a co-resident trainer or
+  /// pipeline when `pool` is set — and recycle the per-serve gather
+  /// scratch between calls. kOff keeps the static allocation bit for bit;
+  /// predictions are identical in every mode.
+  mem::PoolMode pool_mode = mem::pool_mode();
+  /// Shared per-machine pools (mem::PoolSet::create) for cross-component
+  /// reuse with the training engines.
+  std::shared_ptr<mem::PoolSet> pool;
 };
 
 /// EpochStats-style counters for one serve() run.
@@ -126,6 +137,7 @@ class InferenceServer {
   /// predictions). `trainer` is only used during construction.
   InferenceServer(sim::Machine& machine, MgGcnTrainer& trainer,
                   const graph::Dataset& dataset, ServeOptions options = {});
+  ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
@@ -169,10 +181,10 @@ class InferenceServer {
   };
 
   struct Replica {
-    sim::DeviceBuffer store_shard;  ///< this rank's store rows
-    sim::DeviceBuffer scratch;      ///< gathered frontier rows (per serve)
-    sim::DeviceBuffer out;          ///< batch logits
-    sim::DeviceBuffer tmp;          ///< spmm-first intermediate
+    mem::PooledBuffer store_shard;  ///< this rank's store rows
+    mem::PooledBuffer scratch;      ///< gathered frontier rows (per serve)
+    mem::PooledBuffer out;          ///< batch logits
+    mem::PooledBuffer tmp;          ///< spmm-first intermediate
     FeatureCache cache;             ///< hot remote store rows
     sim::Event chain;               ///< previous batch's completion
   };
@@ -195,6 +207,8 @@ class InferenceServer {
   std::vector<std::uint32_t> perm_;  ///< original -> permuted vertex id
   sparse::Csr a_hat_t_;              ///< forward operator (permuted order)
   std::unique_ptr<comm::Communicator> comm_;
+  /// Declared before replicas_ so leases die before their pools.
+  std::shared_ptr<mem::PoolSet> pool_;
 
   std::int64_t d_store_ = 0;  ///< store row width
   std::int64_t d_out_ = 0;    ///< classes

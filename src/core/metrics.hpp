@@ -70,6 +70,16 @@ struct EpochStats {
   double pipe_train_seconds = 0.0;
   double pipe_occupancy = 0.0;
 
+  /// Workspace-pool counters this epoch (sim::PoolCounters; all zero when
+  /// MGGCN_POOL resolves to the static path). pool_peak_bytes is the
+  /// high-water pooled reservation over devices (an absolute snapshot, not
+  /// a delta); pool_reuse_hits counts acquires served by recycling instead
+  /// of a fresh device reservation; pool_fragmentation is the high-water
+  /// unusable-free fraction of the reservation.
+  std::uint64_t pool_peak_bytes = 0;
+  std::uint64_t pool_reuse_hits = 0;
+  double pool_fragmentation = 0.0;
+
   /// Cut quality of the active vertex ordering (core::PartitionCutStats of
   /// the forward tiling, measured once at preprocessing and repeated in
   /// every epoch's stats so bench rows stay self-contained).

@@ -38,12 +38,12 @@ std::vector<std::int64_t> positions_in(
 /// Persistent per-device state: the owned feature shard, the feature cache,
 /// and the replicated model (weights + gradient + Adam moments per layer).
 struct SampledPipeline::RankState {
-  sim::DeviceBuffer features;
+  mem::PooledBuffer features;
   FeatureCache cache;
-  std::vector<sim::DeviceBuffer> weights;
-  std::vector<sim::DeviceBuffer> wgrad;
-  std::vector<sim::DeviceBuffer> adam_m;
-  std::vector<sim::DeviceBuffer> adam_v;
+  std::vector<mem::PooledBuffer> weights;
+  std::vector<mem::PooledBuffer> wgrad;
+  std::vector<mem::PooledBuffer> adam_m;
+  std::vector<mem::PooledBuffer> adam_v;
   /// This rank's training vertices (global ids), reshuffled every epoch.
   std::vector<std::uint32_t> order;
   util::Rng rng{0};
@@ -70,12 +70,16 @@ struct SampledPipeline::BatchState {
   /// Cache admissions this round: (gx row, cache slot) copy list.
   std::vector<std::pair<std::int64_t, std::int64_t>> admit_copies;
 
-  sim::DeviceBuffer gx;                ///< deepest frontier x d0
-  std::vector<sim::DeviceBuffer> rx;   ///< per owner: sendv landing buffer
-  std::vector<sim::DeviceBuffer> z;    ///< per level: block * h
-  std::vector<sim::DeviceBuffer> h;    ///< per level: activation / logits
-  std::vector<sim::DeviceBuffer> dz;   ///< per level (>=1): grad * W^T
-  std::vector<sim::DeviceBuffer> dh;   ///< per level (>=1): block^T * dz
+  // Round scratch. Statically allocated in prepare_round under
+  // MGGCN_POOL=off (freed as a unit at retire); leased from the workspace
+  // pool otherwise, with dz/dh deferred to enqueue_train and every lease
+  // recycled as its last consumer is enqueued, so levels share blocks.
+  mem::PooledBuffer gx;                ///< deepest frontier x d0
+  std::vector<mem::PooledBuffer> rx;   ///< per owner: sendv landing buffer
+  std::vector<mem::PooledBuffer> z;    ///< per level: block * h
+  std::vector<mem::PooledBuffer> h;    ///< per level: activation / logits
+  std::vector<mem::PooledBuffer> dz;   ///< per level (>=1): grad * W^T
+  std::vector<mem::PooledBuffer> dh;   ///< per level (>=1): block^T * dz
 
   sim::Event sample_done;
   sim::Event extract_done;
@@ -95,6 +99,7 @@ SampledPipeline::SampledPipeline(sim::Machine& machine,
     : machine_(machine),
       dataset_(dataset),
       options_(std::move(options)),
+      pool_(mem::resolve_pool(options_.pool, machine, options_.pool_mode)),
       comm_(machine),
       sampler_(dataset.adjacency, options_.fanout),
       part_(PartitionVector::uniform(dataset.n(), machine.num_devices())) {
@@ -148,9 +153,10 @@ SampledPipeline::SampledPipeline(sim::Machine& machine,
   for (int r = 0; r < P; ++r) {
     auto state = std::make_unique<RankState>();
     sim::Device& device = machine_.device(r);
+    mem::WorkspacePool* pool = pool_ ? &pool_->pool(r) : nullptr;
 
-    state->features = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(part_.size(r) * d0), "SMB:X");
+    state->features = mem::acquire_or_alloc(
+        pool, device, static_cast<std::size_t>(part_.size(r) * d0), "SMB:X");
     if (real) {
       std::memcpy(state->features.data(),
                   dataset_.features.view().row(part_.begin(r)),
@@ -160,10 +166,14 @@ SampledPipeline::SampledPipeline(sim::Machine& machine,
     for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
       const auto count =
           static_cast<std::size_t>(dims_[l] * dims_[l + 1]);
-      state->weights.emplace_back(device, count, "SMB:W");
-      state->wgrad.emplace_back(device, count, "SMB:dW");
-      state->adam_m.emplace_back(device, count, "SMB:AdamM");
-      state->adam_v.emplace_back(device, count, "SMB:AdamV");
+      state->weights.push_back(
+          mem::acquire_or_alloc(pool, device, count, "SMB:W"));
+      state->wgrad.push_back(
+          mem::acquire_or_alloc(pool, device, count, "SMB:dW"));
+      state->adam_m.push_back(
+          mem::acquire_or_alloc(pool, device, count, "SMB:AdamM"));
+      state->adam_v.push_back(
+          mem::acquire_or_alloc(pool, device, count, "SMB:AdamV"));
       if (real) {
         std::memcpy(state->weights.back().data(), init[l].data(),
                     count * sizeof(float));
@@ -171,17 +181,26 @@ SampledPipeline::SampledPipeline(sim::Machine& machine,
     }
 
     if (r == 0) {
-      const std::uint64_t used = device.memory_used();
-      const std::uint64_t budget =
-          device.profile().memory_bytes > used
-              ? (device.profile().memory_bytes - used) / 2
-              : 0;
+      // Cache budget: half of what is actually available. Pooled, that is
+      // the pool's headroom (free blocks are reusable, so persistent state
+      // and the cache price against one budget — the CaPGNN split);
+      // unpooled, the device ledger's remaining capacity.
+      std::uint64_t available;
+      if (pool != nullptr) {
+        available = pool->available_bytes();
+      } else {
+        const std::uint64_t used = device.memory_used();
+        available = device.profile().memory_bytes > used
+                        ? device.profile().memory_bytes - used
+                        : 0;
+      }
       cache_decision_ = FeatureCache::plan_auto(
           options_.cache_mode, requested_rows, d0, comm_, device.profile(),
-          budget);
+          available / 2);
       resolved_cache_mode_ = cache_decision_.mode;
     }
-    state->cache = FeatureCache(device, d0, cache_decision_.capacity_rows,
+    state->cache = FeatureCache(pool, device, d0,
+                                cache_decision_.capacity_rows,
                                 resolved_cache_mode_);
 
     // Degree-scored prefill over this rank's REMOTE vertices (local rows
@@ -205,6 +224,24 @@ SampledPipeline::SampledPipeline(sim::Machine& machine,
                       static_cast<std::size_t>(d0) * sizeof(float));
         }
       }
+    }
+
+    // Persistent leases may reuse blocks with previous tenants still in
+    // flight: order everything this engine enqueues after them.
+    if (pool != nullptr) {
+      auto guard = [&](const mem::PooledBuffer& buf) {
+        for (const sim::Event& e : buf.ready()) {
+          if (!e.valid()) continue;
+          device.compute_stream().wait_event(e);
+          device.comm_stream().wait_event(e);
+        }
+      };
+      guard(state->features);
+      for (const auto& b : state->weights) guard(b);
+      for (const auto& b : state->wgrad) guard(b);
+      for (const auto& b : state->adam_m) guard(b);
+      for (const auto& b : state->adam_v) guard(b);
+      guard(state->cache.lease());
     }
 
     // Per-rank training shard: the rank's own vertices, or the global list
@@ -234,6 +271,15 @@ SampledPipeline::MemoryBreakdown SampledPipeline::account_memory() const {
     mem.cache_bytes = std::max(mem.cache_bytes, state->cache.bytes());
   }
   mem.model_bytes = replicated_state_bytes(dims_);
+  if (pool_ != nullptr) {
+    for (int r = 0; r < pool_->size(); ++r) {
+      const mem::PoolStats& stats = pool_->pool(r).stats();
+      mem.pool_reserved_bytes =
+          std::max(mem.pool_reserved_bytes, stats.reserved_bytes);
+      mem.pool_in_use_bytes =
+          std::max(mem.pool_in_use_bytes, stats.in_use_bytes);
+    }
+  }
   return mem;
 }
 
@@ -326,41 +372,54 @@ void SampledPipeline::prepare_round(RoundState& round) {
     delta.cache_hits += split.hit_vertices.size();
     delta.cache_misses += split.miss_vertices.size();
 
-    // Scratch buffers for the round.
-    batch.gx = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(in.size()) *
-                    static_cast<std::size_t>(d0),
+    // Scratch buffers for the round. Pooled, these lease recycled blocks;
+    // dz/dh are deferred to enqueue_train so backward temporaries can
+    // reuse the blocks freed by earlier levels of the same batch.
+    mem::WorkspacePool* pool = pool_ ? &pool_->pool(r) : nullptr;
+    batch.gx = mem::acquire_or_alloc(
+        pool, device,
+        static_cast<std::size_t>(in.size()) * static_cast<std::size_t>(d0),
         "SMB:gx");
     batch.rx.resize(static_cast<std::size_t>(P));
     for (int o = 0; o < P; ++o) {
       const auto rows = batch.want_from[static_cast<std::size_t>(o)].size();
       if (rows == 0 || o == r) continue;
-      batch.rx[static_cast<std::size_t>(o)] = sim::DeviceBuffer(
-          device, rows * static_cast<std::size_t>(d0), "SMB:rx");
+      batch.rx[static_cast<std::size_t>(o)] = mem::acquire_or_alloc(
+          pool, device, rows * static_cast<std::size_t>(d0), "SMB:rx");
     }
-    for (int l = 0; l < layers; ++l) {
-      const auto ll = static_cast<std::size_t>(l);
-      const sparse::Csr& block =
-          batch.sub.blocks[static_cast<std::size_t>(layers - 1 - l)];
-      batch.z.emplace_back(device,
-                           static_cast<std::size_t>(block.rows() * dims_[ll]),
-                           "SMB:z");
-      batch.h.emplace_back(
-          device, static_cast<std::size_t>(block.rows() * dims_[ll + 1]),
-          "SMB:h");
+    // Pooled, z/h are deferred to enqueue_train (level by level, right
+    // before their first writers) so a prepared-but-untrained round holds
+    // no activation scratch while the previous round trains — the same
+    // liveness trim dz/dh get below.
+    batch.z.resize(static_cast<std::size_t>(layers));
+    batch.h.resize(static_cast<std::size_t>(layers));
+    if (pool == nullptr) {
+      for (int l = 0; l < layers; ++l) {
+        const auto ll = static_cast<std::size_t>(l);
+        const sparse::Csr& block =
+            batch.sub.blocks[static_cast<std::size_t>(layers - 1 - l)];
+        batch.z[ll] = mem::PooledBuffer(
+            device, static_cast<std::size_t>(block.rows() * dims_[ll]),
+            "SMB:z");
+        batch.h[ll] = mem::PooledBuffer(
+            device, static_cast<std::size_t>(block.rows() * dims_[ll + 1]),
+            "SMB:h");
+      }
     }
     batch.dz.resize(static_cast<std::size_t>(layers));
     batch.dh.resize(static_cast<std::size_t>(layers));
-    for (int l = 1; l < layers; ++l) {
-      const auto ll = static_cast<std::size_t>(l);
-      const sparse::Csr& block =
-          batch.sub.blocks[static_cast<std::size_t>(layers - 1 - l)];
-      batch.dz[ll] = sim::DeviceBuffer(
-          device, static_cast<std::size_t>(block.rows() * dims_[ll]),
-          "SMB:dz");
-      batch.dh[ll] = sim::DeviceBuffer(
-          device, static_cast<std::size_t>(block.cols() * dims_[ll]),
-          "SMB:dh");
+    if (pool == nullptr) {
+      for (int l = 1; l < layers; ++l) {
+        const auto ll = static_cast<std::size_t>(l);
+        const sparse::Csr& block =
+            batch.sub.blocks[static_cast<std::size_t>(layers - 1 - l)];
+        batch.dz[ll] = mem::PooledBuffer(
+            device, static_cast<std::size_t>(block.rows() * dims_[ll]),
+            "SMB:dz");
+        batch.dh[ll] = mem::PooledBuffer(
+            device, static_cast<std::size_t>(block.cols() * dims_[ll]),
+            "SMB:dh");
+      }
     }
   }
 
@@ -422,6 +481,7 @@ void SampledPipeline::enqueue_extract(RoundState& round) {
         static_cast<double>(state.features.bytes() + state.cache.bytes());
     task.cost.stream_bytes = rows * static_cast<double>(row_bytes);
     task.waits.push_back(batch.sample_done);
+    mem::append_ready(&task.waits, batch.gx);  // first writer of the lease
     task.reads.push_back(state.features.access());
     if (!batch.hit_slots.empty()) {
       task.reads.push_back(state.cache.buffer().access());
@@ -473,9 +533,11 @@ void SampledPipeline::enqueue_extract(RoundState& round) {
       BatchState& batch = round.batches[static_cast<std::size_t>(dest)];
       comm::RankPart& part = parts[static_cast<std::size_t>(dest)];
       if (dest == o) {
-        part.buffer = &ranks_[static_cast<std::size_t>(o)]->features;
+        part.buffer = &ranks_[static_cast<std::size_t>(o)]->features.buffer();
       } else if (!rows[static_cast<std::size_t>(dest)].empty()) {
-        part.buffer = &batch.rx[static_cast<std::size_t>(o)];
+        mem::PooledBuffer& rx = batch.rx[static_cast<std::size_t>(o)];
+        part.buffer = &rx.buffer();
+        mem::append_ready(&part.waits, rx);  // first writer of the lease
       }
       part.waits.push_back(batch.sample_done);
     }
@@ -556,6 +618,12 @@ void SampledPipeline::enqueue_extract(RoundState& round) {
     delta.extract_seconds +=
         sim::CostModel::seconds(task.cost, device.profile());
     batch.extract_done = device.comm_stream().enqueue(std::move(task));
+
+    // The scatter is the landing buffers' last consumer: hand the blocks
+    // back for reuse (no-op unpooled), stream-ordered on its completion.
+    for (auto& rx : batch.rx) {
+      if (!rx.empty()) rx.recycle(batch.extract_done);
+    }
   }
 
   machine_.trace().record_pipeline(delta);
@@ -587,13 +655,23 @@ void SampledPipeline::enqueue_train(RoundState& round) {
     };
 
     // Forward.
-    sim::DeviceBuffer* prev = &batch.gx;
+    sim::DeviceBuffer* prev = &batch.gx.buffer();
     std::int64_t prev_rows =
         static_cast<std::int64_t>(batch.sub.layers.back().size());
     for (int l = 0; l < layers; ++l) {
       const auto ll = static_cast<std::size_t>(l);
       const sparse::Csr& block =
           batch.sub.blocks[static_cast<std::size_t>(layers - 1 - l)];
+      if (pool_ != nullptr) {
+        // Deferred from prepare_round: leased at the first writer, so
+        // these blocks can come from the previous round's recycled
+        // backward scratch.
+        mem::WorkspacePool& pool = pool_->pool(r);
+        batch.z[ll] = pool.acquire(
+            static_cast<std::size_t>(block.rows() * dims_[ll]), "SMB:z");
+        batch.h[ll] = pool.acquire(
+            static_cast<std::size_t>(block.rows() * dims_[ll + 1]), "SMB:h");
+      }
 
       sim::TaskDesc spmm;
       spmm.label = "mb-spmm-f";
@@ -601,6 +679,7 @@ void SampledPipeline::enqueue_train(RoundState& round) {
       spmm.stage = round.index;
       spmm.cost = sparse::spmm_cost(block, dims_[ll]);
       if (l == 0) spmm.waits.push_back(batch.extract_done);
+      mem::append_ready(&spmm.waits, batch.z[ll]);  // first writer
       spmm.reads.push_back(prev->access());
       spmm.writes.push_back(batch.z[ll].access());
       spmm.body = [&batch, &block, prev, prev_rows, ll, this] {
@@ -609,13 +688,19 @@ void SampledPipeline::enqueue_train(RoundState& round) {
                      {batch.z[ll].data(), block.rows(), dims_[ll]});
       };
       price(spmm.cost);
-      stream.enqueue(std::move(spmm));
+      const sim::Event spmm_done = stream.enqueue(std::move(spmm));
+      if (l == 0) {
+        // The level-0 forward SpMM is the gather block's last consumer
+        // (the scatter that wrote it is already ordered before).
+        batch.gx.recycle(spmm_done);
+      }
 
       sim::TaskDesc gemm;
       gemm.label = "mb-gemm-f";
       gemm.kind = sim::TaskKind::kGeMM;
       gemm.stage = round.index;
       gemm.cost = dense::gemm_cost(block.rows(), dims_[ll + 1], dims_[ll]);
+      mem::append_ready(&gemm.waits, batch.h[ll]);  // first writer
       gemm.reads.push_back(batch.z[ll].access());
       gemm.reads.push_back(state.weights[ll].access());
       gemm.writes.push_back(batch.h[ll].access());
@@ -643,7 +728,7 @@ void SampledPipeline::enqueue_train(RoundState& round) {
         stream.enqueue(std::move(relu));
       }
 
-      prev = &batch.h[ll];
+      prev = &batch.h[ll].buffer();
       prev_rows = block.rows();
     }
 
@@ -668,8 +753,15 @@ void SampledPipeline::enqueue_train(RoundState& round) {
       stream.enqueue(std::move(loss));
     }
 
-    // Backward.
-    sim::DeviceBuffer* grad = &batch.h[static_cast<std::size_t>(layers - 1)];
+    // Backward. `grad_lease` tracks which lease backs `grad` so it can be
+    // handed back the moment its last reader is enqueued — together with
+    // the per-level dz/dh recycling below, backward temporaries of
+    // different levels share pool blocks (the footprint win the pool
+    // exists for; a no-op chain when unpooled).
+    sim::DeviceBuffer* grad =
+        &batch.h[static_cast<std::size_t>(layers - 1)].buffer();
+    mem::PooledBuffer* grad_lease =
+        &batch.h[static_cast<std::size_t>(layers - 1)];
     std::int64_t grad_rows =
         static_cast<std::int64_t>(batch.sub.layers.front().size());
     for (int l = layers - 1; l >= 0; --l) {
@@ -693,15 +785,27 @@ void SampledPipeline::enqueue_train(RoundState& round) {
       price(wgrad.cost);
       wgrad_ready[static_cast<std::size_t>(r)][ll] =
           stream.enqueue(std::move(wgrad));
+      // The weight gradient is z's last reader.
+      batch.z[ll].recycle(wgrad_ready[static_cast<std::size_t>(r)][ll]);
 
       if (l > 0) {
         const sparse::Csr& block_t = batch.blocks_t[ll];
+        if (pool_ != nullptr) {
+          // Deferred acquisition: by now the previous level's dz/dh and
+          // this level's z have been recycled, so these lease their blocks.
+          mem::WorkspacePool& pool = pool_->pool(r);
+          batch.dz[ll] = pool.acquire(
+              static_cast<std::size_t>(block.rows() * dims_[ll]), "SMB:dz");
+          batch.dh[ll] = pool.acquire(
+              static_cast<std::size_t>(block_t.rows() * dims_[ll]), "SMB:dh");
+        }
 
         sim::TaskDesc dz;
         dz.label = "mb-dz";
         dz.kind = sim::TaskKind::kGeMM;
         dz.stage = round.index;
         dz.cost = dense::gemm_cost(block.rows(), dims_[ll], dims_[ll + 1]);
+        mem::append_ready(&dz.waits, batch.dz[ll]);  // first writer
         dz.reads.push_back(grad->access());
         dz.reads.push_back(state.weights[ll].access());
         dz.writes.push_back(batch.dz[ll].access());
@@ -712,13 +816,17 @@ void SampledPipeline::enqueue_train(RoundState& round) {
               {batch.dz[ll].data(), block.rows(), dims_[ll]});
         };
         price(dz.cost);
-        stream.enqueue(std::move(dz));
+        const sim::Event dz_done = stream.enqueue(std::move(dz));
+        // dz's GeMM is the incoming gradient's last reader (the wgrad read
+        // precedes it on the same stream).
+        grad_lease->recycle(dz_done);
 
         sim::TaskDesc spmm;
         spmm.label = "mb-spmm-b";
         spmm.kind = sim::TaskKind::kSpMM;
         spmm.stage = round.index;
         spmm.cost = sparse::spmm_cost(block_t, dims_[ll]);
+        mem::append_ready(&spmm.waits, batch.dh[ll]);  // first writer
         spmm.reads.push_back(batch.dz[ll].access());
         spmm.writes.push_back(batch.dh[ll].access());
         spmm.body = [&batch, &block, &block_t, ll, this] {
@@ -727,7 +835,9 @@ void SampledPipeline::enqueue_train(RoundState& round) {
                        {batch.dh[ll].data(), block_t.rows(), dims_[ll]});
         };
         price(spmm.cost);
-        stream.enqueue(std::move(spmm));
+        const sim::Event spmm_done = stream.enqueue(std::move(spmm));
+        // The backward SpMM is dz's only reader.
+        batch.dz[ll].recycle(spmm_done);
 
         // Mask by this level's input activation (h[l-1], post-ReLU).
         sim::TaskDesc mask;
@@ -744,10 +854,17 @@ void SampledPipeline::enqueue_train(RoundState& round) {
                                batch.dh[ll].data(), count);
         };
         price(mask.cost);
-        stream.enqueue(std::move(mask));
+        const sim::Event mask_done = stream.enqueue(std::move(mask));
+        // The mask is the last reader of the saved activation h[l-1].
+        batch.h[ll - 1].recycle(mask_done);
 
-        grad = &batch.dh[ll];
+        grad = &batch.dh[ll].buffer();
+        grad_lease = &batch.dh[ll];
         grad_rows = block_t.rows();
+      } else {
+        // Level 0 propagates no gradient further; the wgrad above was the
+        // incoming gradient's last reader.
+        grad_lease->recycle(wgrad_ready[static_cast<std::size_t>(r)][ll]);
       }
     }
   }
@@ -761,7 +878,7 @@ void SampledPipeline::enqueue_train(RoundState& round) {
     std::vector<comm::RankPart> parts(static_cast<std::size_t>(P));
     for (int r = 0; r < P; ++r) {
       parts[static_cast<std::size_t>(r)].buffer =
-          &ranks_[static_cast<std::size_t>(r)]->wgrad[ll];
+          &ranks_[static_cast<std::size_t>(r)]->wgrad[ll].buffer();
       parts[static_cast<std::size_t>(r)].waits.push_back(
           wgrad_ready[static_cast<std::size_t>(r)][ll]);
     }
@@ -823,6 +940,7 @@ EpochStats SampledPipeline::train_epoch() {
   const double mark = machine_.align_clocks();
   const sim::CommVolume volume_mark = machine_.trace().comm_volume();
   const sim::PipelineCounters pipe_mark = machine_.trace().pipeline_counters();
+  const sim::PoolCounters pool_mark = machine_.trace().pool_counters();
   machine_.begin_epoch(epoch_);
 
   epoch_loss_sum_ = 0.0;
@@ -893,6 +1011,11 @@ EpochStats SampledPipeline::train_epoch() {
       static_cast<int>(volume.compact_stages - volume_mark.compact_stages);
   stats.comm_dense_stages =
       static_cast<int>(volume.dense_stages - volume_mark.dense_stages);
+
+  const sim::PoolCounters pool = machine_.trace().pool_counters();
+  stats.pool_peak_bytes = pool.reserved_peak_bytes;  // absolute high-water
+  stats.pool_reuse_hits = pool.reuse_hits - pool_mark.reuse_hits;
+  stats.pool_fragmentation = pool.fragmentation_peak;
 
   const sim::PipelineCounters pipe = machine_.trace().pipeline_counters();
   stats.pipe_rounds = static_cast<int>(pipe.rounds - pipe_mark.rounds);

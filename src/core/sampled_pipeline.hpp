@@ -48,6 +48,7 @@
 #include "core/partition.hpp"
 #include "graph/datasets.hpp"
 #include "graph/sampling.hpp"
+#include "mem/workspace_pool.hpp"
 #include "sim/machine.hpp"
 #include "util/rng.hpp"
 
@@ -73,6 +74,16 @@ class SampledPipeline {
     CacheMode cache_mode = core::cache_mode();
     /// Requested cache capacity as a fraction of the graph's vertices.
     double cache_capacity_fraction = core::cache_capacity_fraction();
+    /// Workspace-pool policy (see mem/pool_mode.hpp). In pooled modes the
+    /// round scratch (gather blocks, activations, gradient temporaries) is
+    /// leased from the per-device pool and recycled as each level's last
+    /// consumer is enqueued, so backward temporaries of different levels
+    /// share blocks; kOff keeps the static per-round allocation bit for
+    /// bit. Numerics are identical in every mode.
+    mem::PoolMode pool_mode = mem::pool_mode();
+    /// Shared per-machine pools (mem::PoolSet::create) so the pipeline
+    /// recycles one budget with other tenants (trainer, inference server).
+    std::shared_ptr<mem::PoolSet> pool;
 
     // Adam (same defaults as the full-batch engine).
     double learning_rate = 1e-2;
@@ -93,6 +104,12 @@ class SampledPipeline {
     std::uint64_t cache_bytes = 0;
     /// Replicated model state (weights + gradients + both Adam moments).
     std::uint64_t model_bytes = 0;
+    /// Largest per-device workspace-pool reservation / live-lease bytes
+    /// (0 when MGGCN_POOL resolves to the static path). When pooling is
+    /// on, persistent state above and round scratch share this one budget,
+    /// so reserved - in_use is the recyclable headroom.
+    std::uint64_t pool_reserved_bytes = 0;
+    std::uint64_t pool_in_use_bytes = 0;
 
     [[nodiscard]] std::uint64_t total() const {
       return feature_bytes + cache_bytes + model_bytes;
@@ -146,6 +163,8 @@ class SampledPipeline {
   sim::Machine& machine_;
   const graph::Dataset& dataset_;
   Options options_;
+  /// Declared before ranks_ so leases die before their pools.
+  std::shared_ptr<mem::PoolSet> pool_;
   comm::Communicator comm_;
   graph::NeighborSampler sampler_;
   PartitionVector part_;

@@ -65,6 +65,7 @@ MgGcnTrainer::MgGcnTrainer(sim::Machine& machine,
   preprocess(dataset);
   preprocessing_seconds_ = timer.elapsed_seconds();
 
+  pool_ = mem::resolve_pool(config_.pool, machine_, config_.pool_mode);
   allocate_buffers();
   upload_inputs(dataset);
 }
@@ -165,49 +166,74 @@ void MgGcnTrainer::allocate_buffers() {
   for (int r = 0; r < p; ++r) {
     auto& rank = ranks_[static_cast<std::size_t>(r)];
     sim::Device& device = machine_.device(r);
+    mem::WorkspacePool* pool = pool_ ? &pool_->pool(r) : nullptr;
     const std::int64_t n_r = partition_.size(r);
 
-    rank.x = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(n_r * dims_.front()), "X");
+    // Size/name/order identical across MGGCN_POOL modes — in pooled modes
+    // the same requests go through the pool instead, so `off` stays the
+    // bit-for-bit parity axis.
+    auto alloc = [&](std::int64_t elements, std::string name) {
+      return mem::acquire_or_alloc(pool, device,
+                                   static_cast<std::size_t>(elements),
+                                   std::move(name));
+    };
+
+    rank.x = alloc(n_r * dims_.front(), "X");
     rank.outputs.reserve(static_cast<std::size_t>(layers));
     for (int l = 0; l < layers; ++l) {
-      rank.outputs.emplace_back(
-          device,
-          static_cast<std::size_t>(n_r * plan_[static_cast<std::size_t>(l)].d_out),
-          "O" + std::to_string(l));
+      rank.outputs.push_back(alloc(
+          n_r * plan_[static_cast<std::size_t>(l)].d_out,
+          "O" + std::to_string(l)));
     }
-    rank.hw = sim::DeviceBuffer(
-        device, static_cast<std::size_t>(n_r * shared_dim), "HW");
+    rank.hw = alloc(n_r * shared_dim, "HW");
     if (!config_.reuse_buffers) {
       // Eager-framework emulation (§4.2's comparison point): a saved
       // pre-activation and a gradient buffer per layer, never reused —
       // raising the per-layer memory slope from 1 to 3 (Fig. 12).
       for (int l = 0; l < layers; ++l) {
         const std::int64_t d_out = plan_[static_cast<std::size_t>(l)].d_out;
-        rank.ballast.emplace_back(device,
-                                  static_cast<std::size_t>(n_r * d_out),
-                                  "preact" + std::to_string(l));
-        rank.ballast.emplace_back(device,
-                                  static_cast<std::size_t>(n_r * d_out),
-                                  "grad" + std::to_string(l));
+        rank.ballast.push_back(alloc(n_r * d_out, "preact" + std::to_string(l)));
+        rank.ballast.push_back(alloc(n_r * d_out, "grad" + std::to_string(l)));
       }
     }
     if (p > 1) {
-      rank.bc1 = sim::DeviceBuffer(
-          device, static_cast<std::size_t>(max_part * shared_dim), "BC1");
+      rank.bc1 = alloc(max_part * shared_dim, "BC1");
       if (need_bc2) {
-        rank.bc2 = sim::DeviceBuffer(
-            device, static_cast<std::size_t>(max_part * shared_dim), "BC2");
+        rank.bc2 = alloc(max_part * shared_dim, "BC2");
       }
     }
 
     for (int l = 0; l < layers; ++l) {
       const auto& plan = plan_[static_cast<std::size_t>(l)];
-      const auto wsize = static_cast<std::size_t>(plan.d_in * plan.d_out);
-      rank.w.emplace_back(device, wsize, "W" + std::to_string(l));
-      rank.w_grad.emplace_back(device, wsize, "Wg" + std::to_string(l));
-      rank.adam_m.emplace_back(device, wsize, "m" + std::to_string(l));
-      rank.adam_v.emplace_back(device, wsize, "v" + std::to_string(l));
+      const std::int64_t wsize = plan.d_in * plan.d_out;
+      rank.w.push_back(alloc(wsize, "W" + std::to_string(l)));
+      rank.w_grad.push_back(alloc(wsize, "Wg" + std::to_string(l)));
+      rank.adam_m.push_back(alloc(wsize, "m" + std::to_string(l)));
+      rank.adam_v.push_back(alloc(wsize, "v" + std::to_string(l)));
+    }
+
+    // Recycled blocks may carry previous tenants' completion events; order
+    // everything this trainer will enqueue after them (the stream-level
+    // equivalent of per-task ready() waits — these buffers live for the
+    // whole trainer, so stream granularity costs nothing).
+    if (pool != nullptr) {
+      auto guard = [&](const mem::PooledBuffer& buf) {
+        for (const sim::Event& e : buf.ready()) {
+          if (!e.valid()) continue;
+          device.compute_stream().wait_event(e);
+          device.comm_stream().wait_event(e);
+        }
+      };
+      guard(rank.x);
+      for (const auto& b : rank.outputs) guard(b);
+      guard(rank.hw);
+      for (const auto& b : rank.ballast) guard(b);
+      guard(rank.bc1);
+      guard(rank.bc2);
+      for (const auto& b : rank.w) guard(b);
+      for (const auto& b : rank.w_grad) guard(b);
+      for (const auto& b : rank.adam_m) guard(b);
+      for (const auto& b : rank.adam_v) guard(b);
     }
   }
 }
@@ -267,10 +293,10 @@ sim::KernelCost MgGcnTrainer::with_overhead(sim::KernelCost cost) const {
 }
 
 std::vector<sim::DeviceBuffer*> MgGcnTrainer::buffers_of(
-    sim::DeviceBuffer RankState::* member) {
+    mem::PooledBuffer RankState::* member) {
   std::vector<sim::DeviceBuffer*> out;
   out.reserve(ranks_.size());
-  for (auto& rank : ranks_) out.push_back(&(rank.*member));
+  for (auto& rank : ranks_) out.push_back(&(rank.*member).buffer());
   return out;
 }
 
@@ -278,7 +304,7 @@ std::vector<sim::DeviceBuffer*> MgGcnTrainer::layer_buffers(int layer) {
   std::vector<sim::DeviceBuffer*> out;
   out.reserve(ranks_.size());
   for (auto& rank : ranks_) {
-    out.push_back(&rank.outputs[static_cast<std::size_t>(layer)]);
+    out.push_back(&rank.outputs[static_cast<std::size_t>(layer)].buffer());
   }
   return out;
 }
@@ -521,7 +547,7 @@ void MgGcnTrainer::enqueue_backward(std::vector<sim::Event> grad_ready) {
     std::vector<comm::RankPart> parts(np);
     for (int r = 0; r < p; ++r) {
       const auto rr = static_cast<std::size_t>(r);
-      parts[rr].buffer = &ranks_[rr].w_grad[static_cast<std::size_t>(l)];
+      parts[rr].buffer = &ranks_[rr].w_grad[static_cast<std::size_t>(l)].buffer();
       parts[rr].waits.push_back(wg_partial[rr]);
     }
     std::vector<sim::Event> reduced = comm_->allreduce_sum(
@@ -607,6 +633,7 @@ EpochStats MgGcnTrainer::train_epoch() {
   const double mark = machine_.align_clocks();
   const sim::CommVolume volume_mark = machine_.trace().comm_volume();
   const sim::PlanCounters plan_mark = machine_.trace().plan_counters();
+  const sim::PoolCounters pool_mark = machine_.trace().pool_counters();
   machine_.begin_epoch(epoch_);
   rank_loss_.assign(ranks_.size(), LossResult{});
 
@@ -645,6 +672,10 @@ EpochStats MgGcnTrainer::train_epoch() {
       static_cast<int>(plans.decisions - plan_mark.decisions);
   stats.plan_fallbacks =
       static_cast<int>(plans.fallbacks - plan_mark.fallbacks);
+  const sim::PoolCounters pool = machine_.trace().pool_counters();
+  stats.pool_peak_bytes = pool.reserved_peak_bytes;  // absolute high-water
+  stats.pool_reuse_hits = pool.reuse_hits - pool_mark.reuse_hits;
+  stats.pool_fragmentation = pool.fragmentation_peak;
   stats.part_cut_edges = part_stats_.cut_edges;
   stats.part_inter_node_cut_edges = part_stats_.inter_node_cut_edges;
   stats.part_ghost_rows = part_stats_.ghost_rows;
@@ -717,7 +748,7 @@ Checkpoint MgGcnTrainer::checkpoint() {
   const auto& rank0 = ranks_.front();
   for (int l = 0; l < num_layers(); ++l) {
     const auto& plan = plan_[static_cast<std::size_t>(l)];
-    auto pull = [&](const sim::DeviceBuffer& buffer) {
+    auto pull = [&](const mem::PooledBuffer& buffer) {
       const auto span = buffer.span();
       MGGCN_CHECK_MSG(!span.empty(), "checkpointing requires real mode");
       dense::HostMatrix m(plan.d_in, plan.d_out);
@@ -747,7 +778,7 @@ void MgGcnTrainer::restore(const Checkpoint& snapshot) {
       MGGCN_CHECK_MSG(snapshot.weights[ll].rows() == plan.d_in &&
                           snapshot.weights[ll].cols() == plan.d_out,
                       "checkpoint shape mismatch");
-      auto push = [&](const dense::HostMatrix& m, sim::DeviceBuffer& buffer) {
+      auto push = [&](const dense::HostMatrix& m, mem::PooledBuffer& buffer) {
         auto span = buffer.span();
         MGGCN_CHECK_MSG(!span.empty(), "restore requires real mode");
         dense::copy(m.data(), span.data(), m.size());

@@ -34,6 +34,7 @@
 #include "core/partitioner.hpp"
 #include "dense/matrix.hpp"
 #include "graph/datasets.hpp"
+#include "mem/workspace_pool.hpp"
 #include "sim/machine.hpp"
 
 namespace mggcn::core {
@@ -143,14 +144,14 @@ class MgGcnTrainer {
   };
 
   struct RankState {
-    sim::DeviceBuffer x;                    // input block
-    std::vector<sim::DeviceBuffer> outputs;  // O_l per layer
-    sim::DeviceBuffer hw;                    // shared temporary
-    sim::DeviceBuffer bc1, bc2;              // broadcast buffers
-    std::vector<sim::DeviceBuffer> w, w_grad, adam_m, adam_v;
+    mem::PooledBuffer x;                     // input block
+    std::vector<mem::PooledBuffer> outputs;  // O_l per layer
+    mem::PooledBuffer hw;                    // shared temporary
+    mem::PooledBuffer bc1, bc2;              // broadcast buffers
+    std::vector<mem::PooledBuffer> w, w_grad, adam_m, adam_v;
     /// Unused per-layer buffers emulating frameworks without buffer reuse
     /// (allocated iff !config.reuse_buffers; memory accounting only).
-    std::vector<sim::DeviceBuffer> ballast;
+    std::vector<mem::PooledBuffer> ballast;
     std::vector<std::int32_t> labels;        // local rows, real mode
     std::vector<std::uint8_t> train_mask;    // local rows, real mode
   };
@@ -167,7 +168,7 @@ class MgGcnTrainer {
   [[nodiscard]] sim::KernelCost with_overhead(sim::KernelCost cost) const;
 
   [[nodiscard]] std::vector<sim::DeviceBuffer*> buffers_of(
-      sim::DeviceBuffer RankState::* member);
+      mem::PooledBuffer RankState::* member);
   [[nodiscard]] std::vector<sim::DeviceBuffer*> layer_buffers(int layer);
 
   sim::Machine& machine_;
@@ -182,6 +183,9 @@ class MgGcnTrainer {
   std::unique_ptr<comm::Communicator> comm_;
   std::unique_ptr<Planner> forward_planner_;   // tiles of Â^T
   std::unique_ptr<Planner> backward_planner_;  // tiles of Â
+  /// Workspace pools backing this trainer's buffers (null = static
+  /// allocation); resolved from config.pool/pool_mode at construction.
+  std::shared_ptr<mem::PoolSet> pool_;
 
   std::vector<RankState> ranks_;
   /// Cross-layer BC1/BC2 write-after-read hazard state (see DistSpmm::Io).

@@ -1,0 +1,60 @@
+#include "mem/pool_mode.hpp"
+
+#include <atomic>
+#include <limits>
+
+#include "util/env.hpp"
+
+namespace mggcn::mem {
+
+namespace {
+
+std::atomic<PoolMode>& active_mode() {
+  static std::atomic<PoolMode> mode{util::env_enum(
+      "MGGCN_POOL", PoolMode::kAuto, parse_pool_mode, "'off', 'on', or 'auto'")};
+  return mode;
+}
+
+std::atomic<std::uint64_t>& active_budget() {
+  static std::atomic<std::uint64_t> budget{static_cast<std::uint64_t>(
+      util::env_int("MGGCN_POOL_BUDGET", 0, 0,
+                    std::numeric_limits<long long>::max()))};
+  return budget;
+}
+
+}  // namespace
+
+const char* pool_mode_name(PoolMode mode) {
+  switch (mode) {
+    case PoolMode::kOff:
+      return "off";
+    case PoolMode::kOn:
+      return "on";
+    case PoolMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<PoolMode> parse_pool_mode(std::string_view name) {
+  if (name == "off") return PoolMode::kOff;
+  if (name == "on") return PoolMode::kOn;
+  if (name == "auto") return PoolMode::kAuto;
+  return std::nullopt;
+}
+
+PoolMode pool_mode() { return active_mode().load(std::memory_order_relaxed); }
+
+void set_pool_mode(PoolMode mode) {
+  active_mode().store(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t pool_budget_bytes() {
+  return active_budget().load(std::memory_order_relaxed);
+}
+
+void set_pool_budget_bytes(std::uint64_t bytes) {
+  active_budget().store(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace mggcn::mem

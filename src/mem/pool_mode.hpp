@@ -1,0 +1,77 @@
+// Workspace-pool registry: whether device buffers come from the shared
+// stream-ordered pool (mem::WorkspacePool) or are statically owned.
+//
+// The registry mirrors core/cache_mode.hpp and friends:
+//
+//   - `off`:  every component allocates private sim::DeviceBuffers exactly
+//             as before the pool existed — the bit-for-bit parity axis the
+//             pooled modes are diffed against.
+//   - `on`:   every engine routes its buffers through a WorkspacePool,
+//             self-creating a per-machine PoolSet when the caller did not
+//             share one. Freed blocks are recycled stream-ordered, so peak
+//             footprint drops wherever buffer lifetimes do not overlap.
+//   - `auto`: pool only when the caller installed a shared PoolSet
+//             (multi-tenant setups — the case cross-component reuse pays
+//             for); single-tenant engines stay on the static path. This is
+//             the conservative resolution CaPGNN's joint-budget argument
+//             suggests: pooling buys sharing, and sharing needs tenants.
+//
+// Every mode trains and serves bit-identically: recycled blocks are
+// re-zeroed before reuse, so a pooled buffer starts life exactly like a
+// fresh DeviceBuffer; only footprint and (slightly) the simulated schedule
+// of reuse edges differ.
+//
+// set_pool_mode() installs a mode programmatically; the MGGCN_POOL
+// environment variable ("off" | "on" | "auto") is read once at first use
+// and an unknown value fails loudly. MGGCN_POOL_BUDGET caps each device's
+// pool in bytes (0 = the device's full memory capacity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mggcn::mem {
+
+enum class PoolMode {
+  kOff = 0,
+  kOn = 1,
+  kAuto = 2,
+};
+
+inline constexpr int kNumPoolModes = 3;
+
+/// Stable lower-case name ("off" | "on" | "auto") for logs, CLI, and JSON.
+[[nodiscard]] const char* pool_mode_name(PoolMode mode);
+
+/// Parses a mode name; nullopt when unknown.
+[[nodiscard]] std::optional<PoolMode> parse_pool_mode(std::string_view name);
+
+/// The active mode. Defaults to kAuto, overridable once via the MGGCN_POOL
+/// environment variable; throws InvalidArgumentError on an unknown value.
+[[nodiscard]] PoolMode pool_mode();
+
+/// Installs `mode` as the active mode (e.g. from a --pool CLI flag).
+void set_pool_mode(PoolMode mode);
+
+/// Per-device pool budget in bytes; 0 means "the device's full capacity".
+/// Defaults to 0, overridable once via MGGCN_POOL_BUDGET (a non-negative
+/// byte count); an unparsable value fails loudly.
+[[nodiscard]] std::uint64_t pool_budget_bytes();
+void set_pool_budget_bytes(std::uint64_t bytes);
+
+/// RAII mode override for tests and benches that diff the pool policies.
+class ScopedPoolMode {
+ public:
+  explicit ScopedPoolMode(PoolMode mode) : previous_(pool_mode()) {
+    set_pool_mode(mode);
+  }
+  ~ScopedPoolMode() { set_pool_mode(previous_); }
+  ScopedPoolMode(const ScopedPoolMode&) = delete;
+  ScopedPoolMode& operator=(const ScopedPoolMode&) = delete;
+
+ private:
+  PoolMode previous_;
+};
+
+}  // namespace mggcn::mem

@@ -288,11 +288,18 @@ void Device::reserve_memory(std::uint64_t bytes, const std::string& what) {
 void Device::release_memory(std::uint64_t bytes) noexcept {
   std::lock_guard lock(memory_mutex_);
   if (bytes > memory_used_) {
-    // A double release would silently corrupt the ledger; surface it.
+    // A double release would silently corrupt the ledger; surface it. The
+    // trace counter propagates the error to benches and tests (the log
+    // alone is invisible to automated accounting checks), the debug assert
+    // keeps it fatal where a debugger is attached, and release builds clamp
+    // so accounting stays monotone instead of wrapping.
     MGGCN_LOG(kError) << "device " << rank_ << " memory release underflow: "
                       << "releasing " << util::format_bytes(bytes)
                       << " with only " << util::format_bytes(memory_used_)
                       << " in use";
+    if (trace_ != nullptr) {
+      trace_->record_pool(PoolCounters{.release_underflows = 1});
+    }
     assert(false && "device memory release underflow");
     memory_used_ = 0;
     return;
@@ -327,16 +334,34 @@ double Device::sim_time() const {
 
 // --------------------------------------------------------- DeviceBuffer --
 
+std::uint64_t next_buffer_identity() {
+  return next_buffer_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 DeviceBuffer::DeviceBuffer(Device& device, std::size_t elements,
                            std::string name)
     : device_(&device),
       elements_(elements),
       name_(std::move(name)),
-      id_(next_buffer_id.fetch_add(1, std::memory_order_relaxed)) {
+      id_(next_buffer_identity()) {
   device_->reserve_memory(bytes(), name_);
   if (device_->mode() == ExecutionMode::kReal && elements_ > 0) {
     storage_ = std::make_unique<float[]>(elements_);  // zero-initialized
+    data_ = storage_.get();
   }
+}
+
+DeviceBuffer DeviceBuffer::view(Device& device, std::size_t elements,
+                                float* data, std::string name,
+                                std::uint64_t id) {
+  DeviceBuffer buf;
+  buf.device_ = &device;
+  buf.elements_ = elements;
+  buf.data_ = data;
+  buf.owned_ = false;
+  buf.name_ = std::move(name);
+  buf.id_ = id;
+  return buf;
 }
 
 DeviceBuffer::~DeviceBuffer() { release(); }
@@ -345,10 +370,14 @@ DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
     : device_(other.device_),
       elements_(other.elements_),
       storage_(std::move(other.storage_)),
+      data_(other.data_),
+      owned_(other.owned_),
       name_(std::move(other.name_)),
       id_(other.id_) {
   other.device_ = nullptr;
   other.elements_ = 0;
+  other.data_ = nullptr;
+  other.owned_ = true;
   other.id_ = 0;
 }
 
@@ -358,10 +387,14 @@ DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
     device_ = other.device_;
     elements_ = other.elements_;
     storage_ = std::move(other.storage_);
+    data_ = other.data_;
+    owned_ = other.owned_;
     name_ = std::move(other.name_);
     id_ = other.id_;
     other.device_ = nullptr;
     other.elements_ = 0;
+    other.data_ = nullptr;
+    other.owned_ = true;
     other.id_ = 0;
   }
   return *this;
@@ -374,23 +407,25 @@ BufferAccess DeviceBuffer::access() const {
 }
 
 std::span<float> DeviceBuffer::span() {
-  return storage_ ? std::span<float>(storage_.get(), elements_)
-                  : std::span<float>();
+  return data_ != nullptr ? std::span<float>(data_, elements_)
+                          : std::span<float>();
 }
 
 std::span<const float> DeviceBuffer::span() const {
-  return storage_ ? std::span<const float>(storage_.get(), elements_)
-                  : std::span<const float>();
+  return data_ != nullptr ? std::span<const float>(data_, elements_)
+                          : std::span<const float>();
 }
 
 void DeviceBuffer::release() {
-  if (device_ != nullptr && elements_ > 0) {
+  if (owned_ && device_ != nullptr && elements_ > 0) {
     device_->release_memory(bytes());
   }
   device_ = nullptr;
   elements_ = 0;
   id_ = 0;
   storage_.reset();
+  data_ = nullptr;
+  owned_ = true;
 }
 
 }  // namespace mggcn::sim

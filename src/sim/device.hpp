@@ -242,6 +242,11 @@ class Device {
   std::vector<std::unique_ptr<Stream>> streams_;
 };
 
+/// Draws the next identity from the process-wide DeviceBuffer id space
+/// (mem::WorkspacePool stamps its blocks from the same source so pooled and
+/// owned buffers share one hazard-audit namespace).
+[[nodiscard]] std::uint64_t next_buffer_identity();
+
 /// RAII simulated-device memory. In real mode it owns host storage for the
 /// floats; in phantom mode only the accounting happens. Element type is
 /// float throughout (the paper trains fp32).
@@ -250,6 +255,13 @@ class DeviceBuffer {
   DeviceBuffer() = default;
   DeviceBuffer(Device& device, std::size_t elements, std::string name = {});
   ~DeviceBuffer();
+
+  /// A non-owning view over externally managed storage (a workspace-pool
+  /// slab): no device-ledger reservation happens, `data` must outlive the
+  /// view, and `id` carries the underlying block's stable hazard identity
+  /// across reuse. `data` may be null in phantom mode.
+  static DeviceBuffer view(Device& device, std::size_t elements, float* data,
+                           std::string name, std::uint64_t id);
 
   DeviceBuffer(DeviceBuffer&& other) noexcept;
   DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
@@ -274,15 +286,20 @@ class DeviceBuffer {
   /// Host storage view; empty span in phantom mode.
   [[nodiscard]] std::span<float> span();
   [[nodiscard]] std::span<const float> span() const;
-  [[nodiscard]] float* data() { return storage_.get(); }
-  [[nodiscard]] const float* data() const { return storage_.get(); }
+  [[nodiscard]] float* data() { return data_; }
+  [[nodiscard]] const float* data() const { return data_; }
+
+  /// Whether this buffer owns its reservation (false for view()s).
+  [[nodiscard]] bool owned() const { return owned_; }
 
   void release();
 
  private:
   Device* device_ = nullptr;
   std::size_t elements_ = 0;
-  std::unique_ptr<float[]> storage_;
+  std::unique_ptr<float[]> storage_;  ///< owned allocations only
+  float* data_ = nullptr;             ///< storage_.get() or the viewed slab
+  bool owned_ = true;                 ///< views skip the device ledger
   std::string name_;
   std::uint64_t id_ = 0;
 };

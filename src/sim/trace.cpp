@@ -101,6 +101,16 @@ ServeCounters Trace::serve_counters() const {
   return serve_counters_;
 }
 
+void Trace::record_pool(const PoolCounters& delta) {
+  std::lock_guard lock(mutex_);
+  pool_counters_ += delta;
+}
+
+PoolCounters Trace::pool_counters() const {
+  std::lock_guard lock(mutex_);
+  return pool_counters_;
+}
+
 void Trace::clear() {
   std::lock_guard lock(mutex_);
   records_.clear();
@@ -110,6 +120,7 @@ void Trace::clear() {
   plan_counters_ = PlanCounters{};
   pipeline_counters_ = PipelineCounters{};
   serve_counters_ = ServeCounters{};
+  pool_counters_ = PoolCounters{};
 }
 
 std::vector<HazardRecord> Trace::hazard_records() const {

@@ -4,6 +4,7 @@
 // rendered straight from these records.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -193,6 +194,47 @@ struct ServeCounters {
   }
 };
 
+/// Aggregate workspace-pool counters (mem::WorkspacePool records one delta
+/// per allocator operation at enqueue time, like PipelineCounters, so the
+/// counters are deterministic regardless of worker scheduling). Sums
+/// accumulate; the *_peak fields and fragmentation_peak are high-water
+/// marks and merge by max. release_underflows counts Device::release_memory
+/// accounting underflows (a double release / leaked ledger) so benches and
+/// tests can assert the books balanced.
+struct PoolCounters {
+  /// High-water of device bytes reserved by pool slabs (max over devices).
+  std::uint64_t reserved_peak_bytes = 0;
+  /// High-water of bytes inside live PooledBuffer leases (max over devices).
+  std::uint64_t in_use_peak_bytes = 0;
+  /// Acquires served from the free lists instead of a fresh slab.
+  std::uint64_t reuse_hits = 0;
+  std::uint64_t slab_allocs = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t coalesces = 0;
+  /// Wholly-free slabs released back to the device ledger before growing.
+  std::uint64_t trims = 0;
+  /// High-water of the unusable-free fraction: free bytes outside the
+  /// largest free block, over all free bytes (0 = every free byte is one
+  /// contiguous block per slab).
+  double fragmentation_peak = 0.0;
+  /// Device::release_memory underflows (accounting corruption; see the
+  /// device ledger satellite).
+  std::uint64_t release_underflows = 0;
+
+  PoolCounters& operator+=(const PoolCounters& o) {
+    reserved_peak_bytes = std::max(reserved_peak_bytes, o.reserved_peak_bytes);
+    in_use_peak_bytes = std::max(in_use_peak_bytes, o.in_use_peak_bytes);
+    reuse_hits += o.reuse_hits;
+    slab_allocs += o.slab_allocs;
+    splits += o.splits;
+    coalesces += o.coalesces;
+    trims += o.trims;
+    fragmentation_peak = std::max(fragmentation_peak, o.fragmentation_peak);
+    release_underflows += o.release_underflows;
+    return *this;
+  }
+};
+
 struct TraceRecord {
   int device = 0;
   int stream = 0;
@@ -221,6 +263,9 @@ class Trace {
   void record_pipeline(const PipelineCounters& delta);
   /// Accumulates one served micro-batch's request/cache counters.
   void record_serve(const ServeCounters& delta);
+  /// Accumulates one workspace-pool operation's counters (sums add,
+  /// high-water fields merge by max).
+  void record_pool(const PoolCounters& delta);
   void clear();
 
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -247,6 +292,10 @@ class Trace {
   /// Running inference-serving totals (snapshot; per-window stats
   /// difference two snapshots).
   [[nodiscard]] ServeCounters serve_counters() const;
+
+  /// Running workspace-pool totals (snapshot; per-epoch stats difference
+  /// the additive fields and read the high-water fields directly).
+  [[nodiscard]] PoolCounters pool_counters() const;
 
   /// Number of fault events of `kind` (optionally restricted to one epoch).
   [[nodiscard]] std::size_t fault_count(FaultEventKind kind,
@@ -279,6 +328,7 @@ class Trace {
   PlanCounters plan_counters_;
   PipelineCounters pipeline_counters_;
   ServeCounters serve_counters_;
+  PoolCounters pool_counters_;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal: quotes,
